@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`ExperimentContext` serves every benchmark; its
+caches are pre-warmed so that the timed region measures the experiment's
+evaluation logic, not one-off trace synthesis.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    context = ExperimentContext(scale=BENCH_SCALE)
+    for name in context.all_workloads():
+        context.features(name)  # pre-warm traces + reuse-distance passes
+    return context
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once per round (they are deterministic)."""
+
+    def _run(fn, *args):
+        return benchmark.pedantic(fn, args=args, rounds=3, iterations=1, warmup_rounds=1)
+
+    return _run

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Ablation: per-knob contribution.
+
+Times one full evaluation of the ``ablation`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_ablation(ctx, run_once):
+    res = run_once(EXPERIMENTS["ablation"], ctx)
+    assert res.rows
+    assert res.metrics["slowdown_no_width"] > 1.2

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the CXL integration-mode study (extension)."""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_cxl_study(ctx, run_once):
+    res = run_once(EXPERIMENTS["cxl_study"], ctx)
+    assert res.metrics["backend_mode_wins"] >= 1

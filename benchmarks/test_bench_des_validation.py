@@ -1,0 +1,8 @@
+"""Benchmark: the event-level executor vs closed-form model cross-check."""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_des_validation(ctx, run_once):
+    res = run_once(EXPERIMENTS["des_validation"], ctx)
+    assert res.metrics["backend_ordering_agreement"] == 1.0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 1b: FM technology bandwidth catalog.
+
+Times one full evaluation of the ``fig01b`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig01b(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig01b"], ctx)
+    assert res.rows
+    assert res.metrics["max_GBps"] == 46.0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 2b: backend access latency (64MB @ 4KB).
+
+Times one full evaluation of the ``fig02b`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig02b(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig02b"], ctx)
+    assert res.rows
+    assert res.metrics["monotone_ordering"] == 1.0

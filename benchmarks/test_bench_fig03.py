@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 3: PCIe bandwidth trend.
+
+Times one full evaluation of the ``fig03`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig03(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig03"], ctx)
+    assert res.rows
+    assert 2.5 < res.metrics["doubling_period_years"] < 5.0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 4: single vs multi FM path.
+
+Times one full evaluation of the ``fig04`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig04(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig04"], ctx)
+    assert res.rows
+    assert res.metrics["mean_speedup"] > 1.5

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 5: granularity and I/O width impact.
+
+Times one full evaluation of the ``fig05`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig05(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig05"], ctx)
+    assert res.rows
+    assert res.metrics["contiguous_gain_4k_to_1m"] > 1.2

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 8: anon/file mix vs backend preference.
+
+Times one full evaluation of the ``fig08`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig08(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig08"], ctx)
+    assert res.rows
+    assert res.metrics["rdma_preferences"] >= 1

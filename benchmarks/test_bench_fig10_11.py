@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figs 10-11: fragment and run structure.
+
+Times one full evaluation of the ``fig10_11`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig10_11(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig10_11"], ctx)
+    assert res.rows
+    assert res.metrics["stream_fragment_ratio"] > 0.9

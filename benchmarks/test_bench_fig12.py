@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 12: NUMA placement sensitivity.
+
+Times one full evaluation of the ``fig12`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig12(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig12"], ctx)
+    assert res.rows
+    assert res.metrics["spread"] > 0.2

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 14: data throughput vs TMO.
+
+Times one full evaluation of the ``fig14`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig14(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig14"], ctx)
+    assert res.rows
+    assert res.metrics["max_xdm_rdma"] > 1.5

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 15: offload ratio under SLO.
+
+Times one full evaluation of the ``fig15`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig15(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig15"], ctx)
+    assert res.rows
+    assert res.metrics["max_extra_offload"] >= 0.4

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 16: task throughput under SLO.
+
+Times one full evaluation of the ``fig16`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig16(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig16"], ctx)
+    assert res.rows
+    assert res.metrics["max_gain"] > 3.0

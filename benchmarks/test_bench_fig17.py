@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 17: swap isolation latency.
+
+Times one full evaluation of the ``fig17`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig17(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig17"], ctx)
+    assert res.rows
+    assert res.metrics["mean_isolation_speedup"] > 1.3

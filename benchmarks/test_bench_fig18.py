@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 18: switching overhead.
+
+Times one full evaluation of the ``fig18`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig18(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig18"], ctx)
+    assert res.rows
+    assert res.metrics["max_switch_seconds"] < 5.0

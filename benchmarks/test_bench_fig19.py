@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 19: MBE on cluster traces.
+
+Times one full evaluation of the ``fig19`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig19(ctx, run_once):
+    res = run_once(EXPERIMENTS["fig19"], ctx)
+    assert res.rows
+    assert res.metrics["peak_mbe_2018"] > res.metrics["peak_mbe_2017"]

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+These are the operations whose cost bounds how large a trace/cluster the
+simulator can handle: the reuse-distance pass (O(n log n) Fenwick), trace
+characteristic fusion, exact LRU simulation, the DES event loop, and the
+fluid fair-share link.
+"""
+
+import numpy as np
+
+from repro.mem import ActiveInactiveLRU, MissRatioCurve, reuse_distances
+from repro.rng import derive
+from repro.simcore import FairShareLink, Simulator
+from repro.trace import fuse
+from repro.workloads.generators import assemble, zipf_accesses
+
+_N = 50_000
+
+
+def _trace_pages():
+    rng = derive(0, "bench/micro")
+    return zipf_accesses(rng, 4096, _N, alpha=1.1)
+
+
+def test_bench_reuse_distances(benchmark):
+    pages = _trace_pages()
+    out = benchmark(reuse_distances, pages)
+    assert out.shape == (_N,)
+
+
+def test_bench_mrc_queries(benchmark):
+    mrc = MissRatioCurve(pages=_trace_pages())
+
+    def sweep():
+        return [mrc.misses(c) for c in range(0, 4096, 8)]
+
+    misses = benchmark(sweep)
+    assert misses[0] == _N
+
+
+def test_bench_fusion(benchmark):
+    rng = derive(1, "bench/fusion")
+    trace = assemble(rng, _trace_pages(), anon_ratio=0.9, store_ratio=0.2)
+    features = benchmark(fuse, trace)
+    assert features.n_accesses == _N
+
+
+def test_bench_exact_lru(benchmark):
+    pages = _trace_pages().tolist()
+
+    def run():
+        lru = ActiveInactiveLRU(capacity=1024)
+        for p in pages:
+            lru.access(p)
+        return lru
+
+    lru = benchmark(run)
+    assert lru.hits + lru.misses == _N
+
+
+def test_bench_des_event_loop(benchmark):
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        done = [sim.process(chain(2000), name=f"p{i}") for i in range(10)]
+        sim.run(until=sim.all_of(done))
+        return sim.now
+
+    now = benchmark(run)
+    assert now == 2000.0
+
+
+def test_bench_fair_share_link(benchmark):
+    def run():
+        sim = Simulator()
+        link = FairShareLink(sim, bandwidth=1e9)
+
+        def flow(i):
+            for _ in range(100):
+                yield link.transfer(1e6)
+
+        done = [sim.process(flow(i)) for i in range(20)]
+        sim.run(until=sim.all_of(done))
+        return link.total_bytes
+
+    moved = benchmark(run)
+    assert moved > 0

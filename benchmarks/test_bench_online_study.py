@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the online reconfiguration study (extension)."""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_online_study(ctx, run_once):
+    res = run_once(EXPERIMENTS["online_study"], ctx)
+    assert res.metrics["online_vs_oracle"] <= 1.1

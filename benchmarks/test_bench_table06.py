@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table VI: swap speedup vs baselines.
+
+Times one full evaluation of the ``table06`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_table06(ctx, run_once):
+    res = run_once(EXPERIMENTS["table06"], ctx)
+    assert res.rows
+    assert res.metrics["classification_matches"] >= 13

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table VII: PCIe saturation.
+
+Times one full evaluation of the ``table07`` experiment on the shared
+pre-warmed context and sanity-checks its headline result.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_table07(ctx, run_once):
+    res = run_once(EXPERIMENTS["table07"], ctx)
+    assert res.rows
+    assert all(v == "Full" for v in res.column("verdict"))

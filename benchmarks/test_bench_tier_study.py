@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the three-tier MEI study (extension)."""
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_tier_study(ctx, run_once):
+    res = run_once(EXPERIMENTS["tier_study"], ctx)
+    assert sum(v for k, v in res.metrics.items()) == len(res.rows)

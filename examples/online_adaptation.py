@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Online adaptation: re-tuning the far-memory path as an app changes phase.
+
+An analytics job alternates between a *scan* phase (sequential sweeps over
+a large table) and a *join-probe* phase (random gathers across a hash
+table).  A static configuration tuned for either phase loses badly on the
+other; xDM's online controller (Table III's online-configurable knobs:
+page size, network channels, far-memory ratio) follows the phases with a
+hysteresis gate so it never thrashes.
+
+Run:  python examples/online_adaptation.py
+"""
+
+import numpy as np
+
+from repro.core import EpochMonitor, OnlineController, SmartConsole
+from repro.devices import BackendKind, make_device
+from repro.simcore import Simulator
+from repro.swap import SwapPathModel
+from repro.trace import fuse
+from repro.units import fmt_bytes, fmt_time
+from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
+
+FOOTPRINT = 8192
+PARALLELISM = 8
+FM_RATIO = 0.5
+EPOCHS = 8
+
+
+def phase_trace(rng, epoch):
+    if epoch % 2 == 0:
+        name, pages = "scan", sequential_scan(FOOTPRINT, passes=2)
+    else:
+        name, pages = "probe", zipf_accesses(rng, FOOTPRINT, FOOTPRINT * 2, alpha=1.05)
+    return name, assemble(rng, pages, anon_ratio=1.0, store_ratio=0.25)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    sim = Simulator()
+    rdma = make_device(sim, BackendKind.RDMA)
+    console = SmartConsole()
+    controller = OnlineController(rdma, console=console, fault_parallelism=PARALLELISM)
+
+    print(f"{'epoch':>5s} {'phase':>6s} {'granularity':>11s} {'width':>5s} "
+          f"{'applied':>7s} {'gain':>6s} {'swap time':>10s} {'static-scan':>11s}")
+    static_config = None
+    totals = {"online": 0.0, "static": 0.0}
+    for epoch in range(EPOCHS):
+        name, trace = phase_trace(rng, epoch)
+        features = fuse(trace)
+        monitor = EpochMonitor()
+        monitor.observe(trace)
+        event = controller.step(monitor, fm_ratio=FM_RATIO)
+        model = SwapPathModel(rdma, features, fault_parallelism=PARALLELISM)
+        local = model.local_pages_for(FM_RATIO)
+        online_cost = model.cost(local, controller.current.config).sys_time
+        if static_config is None:
+            static_config = controller.current.config  # frozen scan-phase config
+        static_cost = model.cost(local, static_config).sys_time
+        totals["online"] += online_cost
+        totals["static"] += static_cost
+        print(f"{epoch:5d} {name:>6s} {fmt_bytes(event.decision.granularity):>11s} "
+              f"{event.decision.io_width:5d} {str(event.applied):>7s} "
+              f"{event.predicted_gain:6.1f} {fmt_time(online_cost):>10s} "
+              f"{fmt_time(static_cost):>11s}")
+
+    print(f"\ntotal swap time: online {fmt_time(totals['online'])} vs "
+          f"static {fmt_time(totals['static'])} "
+          f"({totals['static'] / totals['online']:.1f}x saved by adapting); "
+          f"{controller.reconfigurations} reconfigurations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The offline environment lacks the `wheel` package, so PEP 517 editable
+installs (which build an editable wheel) cannot run; keeping a classic
+setup.py and no [build-system] table lets `pip install -e .` use the
+legacy `setup.py develop` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

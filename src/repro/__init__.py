@@ -1,0 +1,51 @@
+"""xDM reproduction: intelligently managed multi-backend disaggregated memory.
+
+A full simulation-based reproduction of *"Boosting Data Center Performance
+via Intelligently Managed Multi-backend Disaggregated Memory"* (SC 2024):
+the xDM far-memory management system -- switchable multi-path swapping, MEI
+backend selection, and the smart parameter console -- together with every
+substrate it needs (device models, swap subsystem, virtualization, page
+tracing, the Table-V workload suite, baselines, and a cluster layer) and
+one experiment module per paper table/figure.
+
+Quick start::
+
+    from repro import ExperimentContext, run_experiment
+    print(run_experiment("table06", ExperimentContext(scale=0.3)).render())
+
+or, for the system itself::
+
+    from repro import Simulator, XDMSystem, get_workload
+    sim = Simulator()
+    xdm = XDMSystem(sim)
+    outcome = xdm.dispatch(get_workload("lg-bfs"), scale=0.2)
+    print(outcome.backend, outcome.decision.config)
+"""
+
+from repro.core import SmartConsole, XDMSystem, make_variant
+from repro.devices import BackendKind, make_device
+from repro.experiments import ExperimentContext, run_experiment
+from repro.simcore import Simulator
+from repro.swap import SwapConfig, SwapPathModel
+from repro.trace import PageTrace, fuse
+from repro.workloads import TABLE_V, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "BackendKind",
+    "make_device",
+    "SwapConfig",
+    "SwapPathModel",
+    "PageTrace",
+    "fuse",
+    "TABLE_V",
+    "get_workload",
+    "SmartConsole",
+    "XDMSystem",
+    "make_variant",
+    "ExperimentContext",
+    "run_experiment",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` forwards to the CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""State-of-the-art far-memory systems the paper compares against.
+
+Each baseline is a :class:`~repro.baselines.base.BaselineSystem`: a named
+bundle of (supported backends, swap-path configuration, capacity envelope)
+matching Table IV plus the design facts from the related-work discussion:
+
+* **Linux swap** — disk/SSD swap through the block layer: bio merging and
+  readahead for free, one shared swap channel, synchronous block waits.
+* **Fastswap** — frontswap -> RDMA (or far DRAM): page-granular verbs (no
+  block layer, no merging), a prefetcher, in-handler completion polling,
+  one shared channel.
+* **TMO** — Meta's transparent memory offloading on SSD: PSI-driven
+  offload sizing (the most conservative far-memory ratio), block path.
+* **XMemPod** — hierarchical VM -> host -> remote orchestration: every
+  page moves twice (the paper's Fig 4 motivation).
+* **Canvas** — isolated per-application swap channels on RDMA (the
+  "isolated swap" contender in Fig 17).
+* **NoFM** — no far memory at all: the Fig 16 task-throughput reference.
+
+xDM itself lives in :mod:`repro.core`; its multi-backend variants
+(xDM-SSD / xDM-RDMA / xDM-Hetero) are built there.
+"""
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.systems import (
+    CANVAS,
+    FASTSWAP,
+    LINUX_SWAP,
+    NOFM,
+    TMO,
+    XMEMPOD,
+    ALL_BASELINES,
+    baseline_by_name,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "LINUX_SWAP",
+    "FASTSWAP",
+    "TMO",
+    "XMEMPOD",
+    "CANVAS",
+    "NOFM",
+    "ALL_BASELINES",
+    "baseline_by_name",
+]

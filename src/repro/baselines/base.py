@@ -1,0 +1,62 @@
+"""Baseline far-memory system abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.registry import BackendKind
+from repro.errors import BackendUnavailableError
+from repro.swap.channel import ChannelMode
+from repro.swap.pathmodel import PathType, SwapConfig
+from repro.units import PAGE_SIZE
+
+__all__ = ["BaselineSystem"]
+
+
+@dataclass(frozen=True)
+class BaselineSystem:
+    """One prior far-memory system as a fixed swap-path configuration.
+
+    Table IV columns map directly: ``backends`` is the "Far memory" column,
+    ``max_bandwidth`` and ``fm_size`` the other two.  The remaining fields
+    encode the system's *design* (path shape, channel sharing, prefetch,
+    merging, completion discipline) — the things xDM changes.
+    """
+
+    name: str
+    backends: tuple[BackendKind, ...]
+    max_bandwidth: float
+    fm_size: int
+    granularity: int = PAGE_SIZE
+    io_width: int = 2
+    readahead_pages: int = 8
+    merge_pages: int = 1
+    path: PathType = PathType.FLAT
+    channel: ChannelMode = ChannelMode.SHARED
+    synchronous_faults: bool = True
+    #: fraction of the *achievable* offload this system's controller dares
+    #: to take (TMO's PSI loop is deliberately conservative)
+    offload_aggressiveness: float = 1.0
+    notes: str = ""
+
+    def supports(self, kind: BackendKind) -> bool:
+        """Whether this system can drive a ``kind`` backend at all."""
+        return kind in self.backends
+
+    def swap_config(self, kind: BackendKind, co_tenants: int = 0) -> SwapConfig:
+        """The fixed :class:`SwapConfig` this system runs on ``kind``."""
+        if not self.supports(kind):
+            raise BackendUnavailableError(f"{self.name} does not support {kind} backends")
+        return SwapConfig(
+            granularity=self.granularity,
+            io_width=self.io_width,
+            readahead_pages=self.readahead_pages,
+            merge_pages=self.merge_pages,
+            path=self.path,
+            channel=self.channel,
+            co_tenants=co_tenants,
+            synchronous_faults=self.synchronous_faults,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

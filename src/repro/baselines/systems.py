@@ -1,0 +1,135 @@
+"""Concrete baseline definitions (Table IV + related-work design facts)."""
+
+from __future__ import annotations
+
+from repro.devices.registry import BackendKind
+from repro.errors import ConfigurationError
+from repro.baselines.base import BaselineSystem
+from repro.swap.channel import ChannelMode
+from repro.swap.pathmodel import PathType
+from repro.units import GBps, KiB, PAGE_SIZE, gib, tib
+
+__all__ = [
+    "LINUX_SWAP",
+    "FASTSWAP",
+    "TMO",
+    "XMEMPOD",
+    "CANVAS",
+    "NOFM",
+    "ALL_BASELINES",
+    "baseline_by_name",
+]
+
+#: Linux swap (Table IV: disk, 2 GB/s, 2T). Block path: the elevator
+#: merges adjacent bios (free granularity on sequential streams) and
+#: swap readahead covers page-cluster=3 windows; one global swap channel.
+LINUX_SWAP = BaselineSystem(
+    name="linux-swap",
+    backends=(BackendKind.HDD, BackendKind.SSD),
+    max_bandwidth=GBps(2.0),
+    fm_size=tib(2),
+    granularity=PAGE_SIZE,
+    io_width=2,
+    readahead_pages=8,
+    merge_pages=8,
+    channel=ChannelMode.SHARED,
+    synchronous_faults=True,
+    notes="kernel swap on a block device; shared LRU and swap channel",
+)
+
+#: Fastswap (Table IV: RDMA, 10 GB/s, 256G). Frontswap is page-granular
+#: (no block layer, no merging); a prefetcher covers sequential windows;
+#: the fault handler polls RDMA completions.
+FASTSWAP = BaselineSystem(
+    name="fastswap",
+    backends=(BackendKind.RDMA, BackendKind.DRAM),
+    max_bandwidth=GBps(10.0),
+    fm_size=gib(256),
+    granularity=PAGE_SIZE,
+    io_width=2,
+    readahead_pages=8,
+    merge_pages=1,
+    channel=ChannelMode.SHARED,
+    synchronous_faults=True,
+    notes="frontswap->RDMA with prefetcher and polling completion",
+)
+
+#: TMO (Table IV: SSD, 7.9 GB/s, 1T). Same block path as Linux swap but a
+#: PSI-driven controller that offloads conservatively (~70% of what the
+#: miss-ratio curve says is safe).
+TMO = BaselineSystem(
+    name="tmo",
+    backends=(BackendKind.SSD,),
+    max_bandwidth=GBps(7.9),
+    fm_size=tib(1),
+    granularity=PAGE_SIZE,
+    io_width=2,
+    readahead_pages=8,
+    merge_pages=8,
+    channel=ChannelMode.SHARED,
+    synchronous_faults=True,
+    offload_aggressiveness=0.7,
+    notes="transparent memory offloading with PSI pressure control",
+)
+
+#: XMemPod (Table IV: DRAM or RDMA, 10 GB/s, 1T). Hierarchical VM->host->
+#: remote orchestration: every page crosses two swap layers.
+XMEMPOD = BaselineSystem(
+    name="xmempod",
+    backends=(BackendKind.DRAM, BackendKind.RDMA),
+    max_bandwidth=GBps(10.0),
+    fm_size=tib(1),
+    granularity=PAGE_SIZE,
+    io_width=2,
+    readahead_pages=8,
+    merge_pages=1,
+    path=PathType.HIERARCHICAL,
+    channel=ChannelMode.SHARED,
+    synchronous_faults=True,
+    notes="hierarchical VM->host->FM swapping with a shared host channel",
+)
+
+#: Canvas (NSDI'23): Fastswap-class RDMA path but with per-application
+#: isolated swap partitions/channels — Fig 17's "isolated swap".
+CANVAS = BaselineSystem(
+    name="canvas",
+    backends=(BackendKind.RDMA,),
+    max_bandwidth=GBps(10.0),
+    fm_size=gib(256),
+    granularity=PAGE_SIZE,
+    io_width=2,
+    readahead_pages=8,
+    merge_pages=1,
+    channel=ChannelMode.ISOLATED,
+    synchronous_faults=True,
+    notes="isolated per-application swap channels on RDMA",
+)
+
+#: No far memory at all: tasks keep their whole working set resident (the
+#: Fig 16 reference point).
+NOFM = BaselineSystem(
+    name="no-fm",
+    backends=(),
+    max_bandwidth=0.0,
+    fm_size=0,
+    notes="no far memory: tasks must fit in local DRAM",
+)
+
+ALL_BASELINES: tuple[BaselineSystem, ...] = (
+    LINUX_SWAP,
+    FASTSWAP,
+    TMO,
+    XMEMPOD,
+    CANVAS,
+    NOFM,
+)
+
+
+def baseline_by_name(name: str) -> BaselineSystem:
+    """Look up a baseline by its Table IV name."""
+    for b in ALL_BASELINES:
+        if b.name == name:
+            return b
+    raise ConfigurationError(
+        f"unknown baseline {name!r}; choose from {', '.join(b.name for b in ALL_BASELINES)}"
+    )

@@ -1,0 +1,91 @@
+"""Command-line interface: ``python -m repro`` / ``xdm-repro``.
+
+Subcommands::
+
+    xdm-repro list                      # available experiments
+    xdm-repro run table06 [--scale S] [--seed N] [--csv]
+    xdm-repro run all                   # every experiment, text tables
+    xdm-repro workloads                 # Table V with fused characteristics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments.context import DEFAULT_SCALE
+from repro.workloads import TABLE_V
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, ctx)
+        elapsed = time.perf_counter() - t0
+        if args.csv:
+            print(result.to_csv())
+        else:
+            print(result.render())
+            print(f"   ({elapsed:.2f}s)\n")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'cat':8s} {'S/F':3s} {'anon':>5s} {'frag':>5s} {'seq':>5s} "
+          f"{'hot':>5s} {'intlv':>5s} {'par':>4s}")
+    for name, w in TABLE_V.items():
+        f = w.features(args.scale)
+        print(
+            f"{name:10s} {str(w.spec.category):8s} {w.spec.swap_feature:3s} "
+            f"{f.anon_ratio:5.2f} {f.fragment_ratio:5.2f} {f.seq_access_ratio:5.2f} "
+            f"{f.hot_data_ratio:5.2f} {f.interleave_ratio:5.2f} "
+            f"{w.spec.fault_parallelism:4.0f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="xdm-repro",
+        description="xDM (SC'24) reproduction: run paper experiments on the simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id or 'all'")
+    p_run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                       help=f"workload scale (default {DEFAULT_SCALE})")
+    p_run.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p_run.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_wl = sub.add_parser("workloads", help="show Table V workload characteristics")
+    p_wl.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Cluster layer: multi-node scheduling, utilization traces, and MBE.
+
+Supports the paper's data-center-scale results: Fig 16's task throughput
+under SLO constraints (one node, many tasks) and Fig 19's memory balance
+effectiveness over Alibaba-like cluster utilization traces.
+"""
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.scheduler import ClusterScheduler, Task, TaskResult
+from repro.cluster.trace_gen import UtilizationTrace, alibaba_like_trace
+from repro.cluster.mbe import mbe, mbe_improvement_grid
+from repro.cluster.pool import Lease, RemoteMemoryPool
+
+__all__ = [
+    "ClusterNode",
+    "ClusterScheduler",
+    "Task",
+    "TaskResult",
+    "UtilizationTrace",
+    "alibaba_like_trace",
+    "mbe",
+    "mbe_improvement_grid",
+    "Lease",
+    "RemoteMemoryPool",
+]

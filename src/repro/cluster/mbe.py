@@ -1,0 +1,80 @@
+"""Memory balance effectiveness (MBE), Section V-D.
+
+``MBE = C% * (c_bar - beta) - A% * (a_bar - alpha)``
+
+where A%/C% are the shares of machines below alpha (low utilization) /
+above beta (high utilization), and a_bar/c_bar their mean utilizations.
+With ``a_bar < alpha`` the second term is a *gain* (idle machines absorb
+load up to alpha); the first term is the pressure removed from hot
+machines down to beta.  Multi-path far memory realizes the transfer: hot
+machines swap to FM backed by the idle machines' DRAM without any new
+servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["mbe", "mbe_improvement_grid", "best_thresholds"]
+
+
+def mbe(utilization: np.ndarray, alpha: float, beta: float) -> float:
+    """MBE of one utilization snapshot at thresholds (alpha, beta).
+
+    Returns a fraction of total cluster memory (e.g. 0.138 = 13.8%).
+    """
+    if not 0.0 <= alpha <= beta <= 1.0:
+        raise ConfigurationError(f"need 0 <= alpha <= beta <= 1, got {alpha}, {beta}")
+    u = np.asarray(utilization, dtype=np.float64).ravel()
+    if u.size == 0:
+        raise ConfigurationError("empty utilization snapshot")
+    low = u < alpha
+    high = u > beta
+    a_pct = float(low.mean())
+    c_pct = float(high.mean())
+    a_bar = float(u[low].mean()) if low.any() else alpha
+    c_bar = float(u[high].mean()) if high.any() else beta
+    gain_high = c_pct * (c_bar - beta)   # pressure shed by hot machines
+    gain_low = -a_pct * (a_bar - alpha)  # headroom donated by idle machines
+    # the realizable balance is capped by the smaller side: hot machines
+    # cannot shed more than idle machines can absorb
+    return min(gain_high, gain_low) * 2.0 if min(gain_high, gain_low) >= 0 else 0.0
+
+
+def mbe_improvement_grid(
+    utilization: np.ndarray,
+    alphas: np.ndarray,
+    betas: np.ndarray,
+) -> np.ndarray:
+    """MBE over an (alpha, beta) grid; entries with beta < alpha are NaN.
+
+    This is Fig 19's contour surface. Input may be a (T, M) trace — MBE is
+    averaged over snapshots.
+    """
+    u = np.asarray(utilization, dtype=np.float64)
+    if u.ndim == 1:
+        u = u[None, :]
+    alphas = np.asarray(alphas, dtype=np.float64)
+    betas = np.asarray(betas, dtype=np.float64)
+    out = np.full((alphas.size, betas.size), np.nan)
+    for i, a in enumerate(alphas):
+        for j, b in enumerate(betas):
+            if b < a:
+                continue
+            out[i, j] = float(np.mean([mbe(u[t], a, b) for t in range(u.shape[0])]))
+    return out
+
+
+def best_thresholds(
+    utilization: np.ndarray,
+    alphas: np.ndarray,
+    betas: np.ndarray,
+) -> tuple[float, float, float]:
+    """(alpha*, beta*, MBE*) maximizing MBE over the grid."""
+    grid = mbe_improvement_grid(utilization, alphas, betas)
+    if np.isnan(grid).all():
+        raise ConfigurationError("grid is entirely invalid (all beta < alpha?)")
+    i, j = np.unravel_index(np.nanargmax(grid), grid.shape)
+    return float(alphas[i]), float(betas[j]), float(grid[i, j])

@@ -1,0 +1,69 @@
+"""One cluster node: a server with local DRAM and optional far memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError
+from repro.topology.server import ServerSpec, paper_testbed
+
+__all__ = ["ClusterNode"]
+
+
+@dataclass
+class ClusterNode:
+    """A server node's memory occupancy view for scheduling."""
+
+    name: str
+    spec: ServerSpec = field(default_factory=paper_testbed)
+    #: far-memory bytes reachable from this node (0 = no FM)
+    fm_bytes: int = 0
+    used_local: int = 0
+    used_fm: int = 0
+    running: list[str] = field(default_factory=list)
+
+    @property
+    def local_capacity(self) -> int:
+        """Usable local DRAM."""
+        return self.spec.dram_bytes
+
+    @property
+    def free_local(self) -> int:
+        """Unreserved local DRAM bytes."""
+        return self.local_capacity - self.used_local
+
+    @property
+    def free_fm(self) -> int:
+        """Unreserved far-memory bytes."""
+        return self.fm_bytes - self.used_fm
+
+    @property
+    def memory_utilization(self) -> float:
+        """Local memory utilization in [0, 1]."""
+        return self.used_local / self.local_capacity
+
+    def admit(self, task_name: str, local_bytes: int, fm_bytes: int = 0) -> None:
+        """Reserve memory for a task; raises :class:`CapacityError` if short."""
+        if local_bytes < 0 or fm_bytes < 0:
+            raise ValueError("reservations must be non-negative")
+        if local_bytes > self.free_local:
+            raise CapacityError(f"{self.name}: {local_bytes} local requested, {self.free_local} free")
+        if fm_bytes > self.free_fm:
+            raise CapacityError(f"{self.name}: {fm_bytes} FM requested, {self.free_fm} free")
+        self.used_local += local_bytes
+        self.used_fm += fm_bytes
+        self.running.append(task_name)
+
+    def release(self, task_name: str, local_bytes: int, fm_bytes: int = 0) -> None:
+        """Return a task's reservations."""
+        if task_name not in self.running:
+            raise ValueError(f"{task_name} not running on {self.name}")
+        self.running.remove(task_name)
+        self.used_local -= local_bytes
+        self.used_fm -= fm_bytes
+        if self.used_local < 0 or self.used_fm < 0:
+            raise ValueError("release exceeds reservations")
+
+    def fits(self, local_bytes: int, fm_bytes: int = 0) -> bool:
+        """Whether a reservation would be admitted."""
+        return local_bytes <= self.free_local and fm_bytes <= self.free_fm

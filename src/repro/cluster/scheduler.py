@@ -1,0 +1,129 @@
+"""Cluster task scheduler — Fig 16's task-throughput machinery.
+
+Tasks carry a working-set size and a compute time; under an SLO the
+console decides how much of each task's memory can live in far memory,
+which shrinks its local reservation and lets more tasks run concurrently
+at the cost of a bounded runtime inflation.  The scheduler admits tasks
+greedily (first-fit over nodes) and advances a completion-driven clock;
+throughput = completed tasks / makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cluster.node import ClusterNode
+from repro.errors import ConfigurationError
+
+__all__ = ["Task", "TaskResult", "ClusterScheduler"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable task."""
+
+    name: str
+    working_set: int          #: bytes the task touches
+    compute_time: float       #: no-swap runtime, seconds
+    #: fraction of the working set the FM system offloads for this task
+    offload_ratio: float = 0.0
+    #: runtime multiplier the offload costs (<= the SLO by construction)
+    runtime_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.working_set <= 0 or self.compute_time <= 0:
+            raise ConfigurationError(f"{self.name}: working_set and compute_time must be positive")
+        if not 0.0 <= self.offload_ratio <= 0.9:
+            raise ConfigurationError(f"{self.name}: offload_ratio must be in [0, 0.9]")
+        if self.runtime_factor < 1.0:
+            raise ConfigurationError(f"{self.name}: runtime_factor must be >= 1")
+
+    @property
+    def local_bytes(self) -> int:
+        """Local DRAM reservation after offloading."""
+        return max(1, int(self.working_set * (1.0 - self.offload_ratio)))
+
+    @property
+    def fm_bytes(self) -> int:
+        """Far-memory reservation."""
+        return self.working_set - self.local_bytes
+
+    @property
+    def runtime(self) -> float:
+        """Actual runtime with swap stalls."""
+        return self.compute_time * self.runtime_factor
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Completion record."""
+
+    task: Task
+    node: str
+    start: float
+    finish: float
+
+
+class ClusterScheduler:
+    """Greedy first-fit admission with completion-driven time advance."""
+
+    def __init__(self, nodes: list[ClusterNode]) -> None:
+        if not nodes:
+            raise ConfigurationError("scheduler needs at least one node")
+        self.nodes = list(nodes)
+        self.results: list[TaskResult] = []
+
+    def run(self, tasks: list[Task]) -> list[TaskResult]:
+        """Execute ``tasks`` (all ready at t=0); returns completion records.
+
+        A task that fits nowhere waits for completions; if it exceeds every
+        node's *total* capacity it is rejected with an error.
+        """
+        for t in tasks:
+            if not any(
+                t.local_bytes <= n.local_capacity and t.fm_bytes <= n.fm_bytes for n in self.nodes
+            ):
+                raise ConfigurationError(
+                    f"task {t.name} ({t.local_bytes}B local / {t.fm_bytes}B FM) "
+                    f"fits no node even when idle"
+                )
+        pending = list(tasks)
+        running: list[tuple[float, int, Task, ClusterNode]] = []  # heap by finish
+        now = 0.0
+        seq = 0
+        self.results = []
+        while pending or running:
+            # admit as many as fit right now
+            admitted = True
+            while admitted and pending:
+                admitted = False
+                for i, task in enumerate(pending):
+                    node = next(
+                        (n for n in self.nodes if n.fits(task.local_bytes, task.fm_bytes)), None
+                    )
+                    if node is not None:
+                        node.admit(task.name, task.local_bytes, task.fm_bytes)
+                        seq += 1
+                        heapq.heappush(running, (now + task.runtime, seq, task, node))
+                        pending.pop(i)
+                        admitted = True
+                        break
+            if not running:  # pragma: no cover - guarded by the pre-check
+                raise ConfigurationError("no task can be admitted")
+            finish, _, task, node = heapq.heappop(running)
+            start = finish - task.runtime
+            now = finish
+            node.release(task.name, task.local_bytes, task.fm_bytes)
+            self.results.append(TaskResult(task=task, node=node.name, start=start, finish=finish))
+        return self.results
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last completed task."""
+        return max((r.finish for r in self.results), default=0.0)
+
+    def throughput(self) -> float:
+        """Completed tasks per second over the makespan."""
+        span = self.makespan
+        return len(self.results) / span if span > 0 else 0.0

@@ -1,0 +1,41 @@
+"""xDM core: the paper's primary contribution.
+
+* :mod:`repro.core.config` — the Table-III tunable set and xDM's standard
+  path defaults (flat path, VM-isolated channel, async completion).
+* :mod:`repro.core.mei` — the *memory effectiveness improvement* metric
+  (runtime gain / device cost) driving backend choice.
+* :mod:`repro.core.console` — the smart configuration console: fuses page
+  characteristics and searches granularity x I/O-width x far-memory-ratio
+  for each path (Fig 9).
+* :mod:`repro.core.switching` — the implicit switching strategy: per-app
+  backend priority lists, availability tracking, warm-start selection
+  (Fig 7, Algorithm 1 steps 2-3).
+* :mod:`repro.core.xdm` — the system facade: devices + VM pool +
+  dispatcher implementing Algorithm 1 end to end, plus the xDM-SSD /
+  xDM-RDMA / xDM-Hetero multi-backend variants of Table IV.
+"""
+
+from repro.core.config import XDM_DEFAULTS, TunableLimits, xdm_config
+from repro.core.mei import backend_priority, mei_score
+from repro.core.console import ConfigDecision, SmartConsole
+from repro.core.online import EpochMonitor, OnlineController, ReconfigureEvent
+from repro.core.switching import BackendAvailability, ImplicitSwitcher
+from repro.core.xdm import XDMSystem, XDMVariant, make_variant
+
+__all__ = [
+    "XDM_DEFAULTS",
+    "TunableLimits",
+    "xdm_config",
+    "mei_score",
+    "backend_priority",
+    "SmartConsole",
+    "ConfigDecision",
+    "ImplicitSwitcher",
+    "EpochMonitor",
+    "OnlineController",
+    "ReconfigureEvent",
+    "BackendAvailability",
+    "XDMSystem",
+    "XDMVariant",
+    "make_variant",
+]

@@ -1,0 +1,95 @@
+"""xDM's tunable-parameter space (Table III) and path defaults.
+
+Table III:
+
+========================  =============  ============  =========================
+Parameter                 Offline conf.  Online conf.  Scale
+========================  =============  ============  =========================
+Total CPU core            yes            no            <= total CPU cores
+Local memory size         yes            no            <= server memory size
+NUMA memory               yes            no            different NUMA nodes
+Far memory ratio          yes            yes           0 ~ 0.9
+Page size                 yes            yes           4K ~ 2M on average
+Network channel           yes            yes           <= total I/O channels
+========================  =============  ============  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.swap.channel import ChannelMode
+from repro.swap.pathmodel import PathType, SwapConfig
+from repro.units import HUGE_PAGE_SIZE, KiB, PAGE_SIZE
+
+__all__ = ["TunableLimits", "XDM_DEFAULTS", "GRANULARITY_CANDIDATES", "xdm_config"]
+
+
+@dataclass(frozen=True)
+class TunableLimits:
+    """Legal ranges for every knob (Table III's Scale column)."""
+
+    max_cpu_cores: int = 20
+    max_local_memory: int = 0  # 0 = server memory size, set by the host
+    max_fm_ratio: float = 0.9
+    min_page_size: int = PAGE_SIZE
+    max_page_size: int = HUGE_PAGE_SIZE
+    max_io_channels: int = 8
+
+    def validate_fm_ratio(self, ratio: float) -> float:
+        """Clamp-check a far-memory ratio against Table III."""
+        if not 0.0 <= ratio <= self.max_fm_ratio:
+            raise ConfigurationError(
+                f"far memory ratio must be in [0, {self.max_fm_ratio}], got {ratio}"
+            )
+        return ratio
+
+    def validate_page_size(self, size: int) -> int:
+        """Check an average page size against the 4K-2M scale."""
+        if not self.min_page_size <= size <= self.max_page_size:
+            raise ConfigurationError(
+                f"page size must be in [{self.min_page_size}, {self.max_page_size}], got {size}"
+            )
+        return size
+
+    def validate_io_width(self, width: int) -> int:
+        """Check an I/O-channel allocation."""
+        if not 1 <= width <= self.max_io_channels:
+            raise ConfigurationError(
+                f"io width must be in [1, {self.max_io_channels}], got {width}"
+            )
+        return width
+
+
+#: Candidate average page sizes the console searches (4 KiB ... 2 MiB,
+#: as produced by partial khugepaged promotion).
+GRANULARITY_CANDIDATES: tuple[int, ...] = (
+    PAGE_SIZE,
+    16 * KiB,
+    64 * KiB,
+    256 * KiB,
+    1024 * KiB,
+    HUGE_PAGE_SIZE,
+)
+
+#: xDM's structural choices, fixed by design (not searched): guest-direct
+#: flat path, VM-isolated channel via SR-IOV / partitioned swap files,
+#: event-driven (asynchronous) completion.
+XDM_DEFAULTS = dict(
+    path=PathType.FLAT,
+    channel=ChannelMode.VM_ISOLATED,
+    synchronous_faults=False,
+    readahead_pages=8,
+    merge_pages=1,
+)
+
+
+def xdm_config(granularity: int = PAGE_SIZE, io_width: int = 1, co_tenants: int = 0) -> SwapConfig:
+    """A SwapConfig with xDM's structural defaults and the given knobs."""
+    return SwapConfig(
+        granularity=granularity,
+        io_width=io_width,
+        co_tenants=co_tenants,
+        **XDM_DEFAULTS,
+    )

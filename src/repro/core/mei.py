@@ -1,0 +1,69 @@
+"""Memory effectiveness improvement (MEI) — the backend-choice metric.
+
+Section IV-A2: "We use a new metric memory effectiveness improvement
+(MEI), defined as the quotient of runtime performance improvement divided
+by the far memory device cost.  We label the backend priority of different
+workloads by ordering the obtained MEI value."
+
+Here the *performance improvement* of backend *b* is the runtime speedup
+it delivers over the cheapest reference backend (disk-class swap) at the
+same far-memory ratio; dividing by the device's cost factor yields MEI.
+The consequences match Fig 8:
+
+* workloads whose latency barely improves on RDMA vs SSD (compute-bound
+  `lpk`, I/O-structured `gg-bfs`) rank SSD first — the speedup cannot pay
+  the 4x device-cost premium;
+* swap-latency-bound workloads (`lg-bc`, `sort`) rank RDMA first — the
+  speedup is large enough to justify the cost.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError
+from repro.swap.pathmodel import SwapConfig, SwapPathModel
+from repro.trace.fusion import PageFeatures
+
+__all__ = ["mei_score", "backend_priority"]
+
+
+def mei_score(
+    runtime_reference: float,
+    runtime_backend: float,
+    cost_factor: float,
+) -> float:
+    """MEI = (reference runtime / backend runtime) / device cost factor."""
+    if runtime_reference <= 0 or runtime_backend <= 0:
+        raise ConfigurationError("runtimes must be positive")
+    if cost_factor <= 0:
+        raise ConfigurationError("cost_factor must be positive")
+    return (runtime_reference / runtime_backend) / cost_factor
+
+
+def backend_priority(
+    features: PageFeatures,
+    compute_time: float,
+    candidates: dict[str, tuple[FarMemoryDevice, SwapConfig]],
+    fm_ratio: float = 0.5,
+    fault_parallelism: float = 1.0,
+) -> list[tuple[str, float]]:
+    """Rank candidate backends by MEI, best first.
+
+    ``candidates`` maps backend name to (device, config).  The reference
+    runtime is the *slowest* candidate's runtime, so every MEI is >= the
+    pure cost reciprocal and ordering is scale-free.
+    """
+    if not candidates:
+        raise ConfigurationError("need at least one candidate backend")
+    runtimes: dict[str, tuple[float, float]] = {}
+    for name, (device, config) in candidates.items():
+        model = SwapPathModel(device, features, fault_parallelism=fault_parallelism)
+        local = model.local_pages_for(fm_ratio)
+        cost = model.cost(local, config)
+        runtimes[name] = (cost.runtime(compute_time), device.profile.cost_factor)
+    reference = max(rt for rt, _ in runtimes.values())
+    scored = [
+        (name, mei_score(reference, rt, cf)) for name, (rt, cf) in runtimes.items()
+    ]
+    scored.sort(key=lambda kv: kv[1], reverse=True)
+    return scored

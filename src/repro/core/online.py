@@ -1,0 +1,146 @@
+"""Online reconfiguration: re-tuning FM paths as workload phases change.
+
+Table III marks three knobs **online-configurable**: far-memory ratio,
+page size (THP), and network channels.  The paper's design intent —
+"each instance can evaluate task preferences during runtime and
+implicitly select the optimal FM path without the need of user
+intervention" — needs a runtime loop, which this module provides:
+
+* a sliding-window :class:`EpochMonitor` fuses the most recent trace
+  window into fresh :class:`~repro.trace.fusion.PageFeatures` (the online
+  stand-in for the offline profiling shells);
+* :class:`OnlineController` compares the console's decision on the fresh
+  window against the currently applied configuration and switches when
+  the predicted gain clears a hysteresis threshold (switching has cost —
+  Fig 18-b — so thrashing must not pay).
+
+The controller drives the three online knobs per epoch and additionally
+flags when the *backend* preference itself flipped (which Algorithm 1's
+dispatcher handles at task granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.console import ConfigDecision, SmartConsole
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError
+from repro.trace.fusion import PageFeatures, fuse
+from repro.trace.schema import PageTrace
+from repro.trace.tracer import PageTraceTable
+
+__all__ = ["EpochMonitor", "ReconfigureEvent", "OnlineController"]
+
+
+class EpochMonitor:
+    """Sliding-window trace collection + per-epoch feature fusion."""
+
+    def __init__(self, window_records: int = 65536) -> None:
+        self.table = PageTraceTable(max_records=window_records)
+        self.epochs = 0
+
+    def observe(self, trace: PageTrace) -> None:
+        """Feed one execution window into the monitor."""
+        self.table.record_block(trace)
+
+    def epoch_features(self) -> PageFeatures:
+        """Fuse the current window; advances the epoch counter."""
+        self.epochs += 1
+        return fuse(self.table.export())
+
+
+@dataclass(frozen=True)
+class ReconfigureEvent:
+    """One online decision: what changed and what it is predicted to buy."""
+
+    epoch: int
+    applied: bool
+    decision: ConfigDecision
+    predicted_gain: float          #: old predicted sys time / new (>= 1)
+    granularity_changed: bool
+    io_width_changed: bool
+    fm_ratio_changed: bool
+
+
+@dataclass
+class OnlineController:
+    """Hysteresis-gated online re-tuning of one FM path.
+
+    ``gain_threshold`` is the minimum predicted speedup that justifies a
+    reconfiguration (covers the kernel's cost of resizing THP / queue
+    allocations); ``ratio_step`` bounds how fast the far-memory ratio may
+    move per epoch (memory.high changes trigger reclaim bursts).
+    """
+
+    device: FarMemoryDevice
+    console: SmartConsole = field(default_factory=SmartConsole)
+    fault_parallelism: float = 1.0
+    gain_threshold: float = 1.15
+    ratio_step: float = 0.2
+    current: ConfigDecision | None = None
+    history: list[ReconfigureEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.gain_threshold < 1.0:
+            raise ConfigurationError(f"gain_threshold must be >= 1, got {self.gain_threshold}")
+        if not 0.0 < self.ratio_step <= 0.9:
+            raise ConfigurationError(f"ratio_step must be in (0, 0.9], got {self.ratio_step}")
+
+    def step(self, monitor: EpochMonitor, fm_ratio: float | None = None) -> ReconfigureEvent:
+        """Evaluate one epoch and maybe apply a new configuration."""
+        features = monitor.epoch_features()
+        fresh = self.console.configure(
+            features,
+            self.device,
+            fault_parallelism=self.fault_parallelism,
+            fm_ratio=fm_ratio,
+        )
+        if self.current is None:
+            event = ReconfigureEvent(
+                epoch=monitor.epochs, applied=True, decision=fresh,
+                predicted_gain=1.0, granularity_changed=True,
+                io_width_changed=True, fm_ratio_changed=True,
+            )
+            self.current = fresh
+            self.history.append(event)
+            return event
+
+        # what would the OLD configuration cost on the NEW behaviour?
+        from repro.swap.pathmodel import SwapPathModel
+
+        model = SwapPathModel(self.device, features, fault_parallelism=self.fault_parallelism)
+        old_cost = model.cost(fresh.local_pages, self.current.config)
+        new_cost = fresh.predicted
+        gain = (old_cost.sys_time / new_cost.sys_time) if new_cost.sys_time > 0 else 1.0
+        apply = gain >= self.gain_threshold
+
+        # rate-limit the far-memory-ratio move
+        decision = fresh
+        if apply and abs(fresh.fm_ratio - self.current.fm_ratio) > self.ratio_step:
+            bounded = self.current.fm_ratio + self.ratio_step * (
+                1 if fresh.fm_ratio > self.current.fm_ratio else -1
+            )
+            decision = self.console.configure(
+                features, self.device,
+                fault_parallelism=self.fault_parallelism, fm_ratio=max(0.0, min(0.9, bounded)),
+            )
+
+        event = ReconfigureEvent(
+            epoch=monitor.epochs,
+            applied=apply,
+            decision=decision if apply else self.current,
+            predicted_gain=gain,
+            granularity_changed=apply and decision.granularity != self.current.granularity,
+            io_width_changed=apply and decision.io_width != self.current.io_width,
+            fm_ratio_changed=apply and abs(decision.fm_ratio - self.current.fm_ratio) > 1e-9,
+        )
+        if apply:
+            self.current = decision
+        self.history.append(event)
+        return event
+
+    @property
+    def reconfigurations(self) -> int:
+        """Applied configuration changes (excluding the initial one)."""
+        return sum(1 for e in self.history[1:] if e.applied)

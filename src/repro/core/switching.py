@@ -1,0 +1,104 @@
+"""Implicit FM switching strategy (Section IV-A2).
+
+The switcher keeps, per application, a backend priority list ordered by
+MEI, and a live availability view of the machine's backends ("we maintain
+a list of available backend that represents each backend's availability").
+`decide` returns the highest-priority *available* backend; the warm-start
+placement preferences (online VM with the right backend > idle VM with it
+> idle VM switched to it > fresh VM) live in Algorithm 1's dispatcher
+(:mod:`repro.core.xdm`), which consults this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mei import backend_priority
+from repro.devices.base import FarMemoryDevice
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.swap.pathmodel import SwapConfig
+from repro.trace.fusion import PageFeatures
+
+__all__ = ["BackendAvailability", "ImplicitSwitcher"]
+
+
+@dataclass
+class BackendAvailability:
+    """Live availability/capacity of one backend kind on a machine."""
+
+    name: str
+    available: bool = True
+    #: remaining swap capacity in bytes (informational)
+    free_bytes: int = 0
+    #: how many paths of this kind are currently attached to VMs
+    attached_paths: int = field(default=0)
+
+    def mark_down(self) -> None:
+        """Take the backend out of rotation (device error, maintenance)."""
+        self.available = False
+
+    def mark_up(self) -> None:
+        """Return the backend to rotation."""
+        self.available = True
+
+
+class ImplicitSwitcher:
+    """Chooses each application's far-memory backend without user input."""
+
+    def __init__(self, candidates: dict[str, tuple[FarMemoryDevice, SwapConfig]]) -> None:
+        if not candidates:
+            raise ConfigurationError("ImplicitSwitcher needs at least one backend")
+        self.candidates = dict(candidates)
+        self.availability: dict[str, BackendAvailability] = {
+            name: BackendAvailability(name=name, free_bytes=dev.profile.capacity)
+            for name, (dev, _) in candidates.items()
+        }
+        #: app name -> [(backend, MEI)] best-first
+        self.priority_cache: dict[str, list[tuple[str, float]]] = {}
+
+    def priorities(
+        self,
+        app_name: str,
+        features: PageFeatures,
+        compute_time: float,
+        fault_parallelism: float = 1.0,
+        fm_ratio: float = 0.5,
+    ) -> list[tuple[str, float]]:
+        """MEI-ordered backend list for one application (cached)."""
+        if app_name not in self.priority_cache:
+            self.priority_cache[app_name] = backend_priority(
+                features,
+                compute_time,
+                self.candidates,
+                fm_ratio=fm_ratio,
+                fault_parallelism=fault_parallelism,
+            )
+        return self.priority_cache[app_name]
+
+    def decide(
+        self,
+        app_name: str,
+        features: PageFeatures,
+        compute_time: float,
+        fault_parallelism: float = 1.0,
+        fm_ratio: float = 0.5,
+    ) -> str:
+        """Highest-MEI backend that is currently available."""
+        ranked = self.priorities(
+            app_name, features, compute_time,
+            fault_parallelism=fault_parallelism, fm_ratio=fm_ratio,
+        )
+        for name, _ in ranked:
+            if self.availability[name].available:
+                return name
+        raise BackendUnavailableError(
+            f"no available backend for {app_name}; all of "
+            f"{[n for n, _ in ranked]} are down"
+        )
+
+    def invalidate(self, app_name: str | None = None) -> None:
+        """Drop cached priorities (workload behaviour changed at runtime)."""
+        if app_name is None:
+            self.priority_cache.clear()
+        else:
+            self.priority_cache.pop(app_name, None)

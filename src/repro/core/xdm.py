@@ -1,0 +1,249 @@
+"""The xDM system: devices + VM pool + Algorithm-1 dispatcher.
+
+This is the top of the stack.  An :class:`XDMSystem` owns:
+
+* a set of far-memory **backends** (devices behind a shared PCIe switch),
+* a **hypervisor** with a warm pool of VMs, each carrying a swap frontend
+  with pre-registered backend modules,
+* the **console** (parameter optimization) and **switcher** (MEI backend
+  choice),
+
+and dispatches applications with Algorithm 1:
+
+1. extract page features (``page_feature_extraction``),
+2. pick the backend (``backend_selection`` via MEI + availability),
+3. optimize parameters (``parameter_optimization`` via the console),
+4. place on an online VM with the right backend, else a free VM with it,
+   else switch a free VM, else create a VM if the host has room.
+
+:class:`XDMVariant`/:func:`make_variant` build the Table-IV multi-backend
+configurations (xDM-SSD, xDM-RDMA, xDM-Hetero) whose aggregate paths the
+throughput experiments (Fig 14, Table VII) exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.console import ConfigDecision, SmartConsole
+from repro.core.switching import ImplicitSwitcher
+from repro.core.config import xdm_config
+from repro.devices.base import FarMemoryDevice
+from repro.devices.registry import BackendKind, make_device
+from repro.devices.ssd import NVMeSSD
+from repro.errors import DispatchError
+from repro.simcore import Simulator
+from repro.swap.backend import build_backend_module
+from repro.swap.pathmodel import MultiPathModel, SwapConfig, SwapPathModel
+from repro.topology.pcie import PCIeSwitch
+from repro.topology.server import ServerSpec, paper_testbed
+from repro.units import GBps, gib, tib
+from repro.virt.cgroup import VMResourceControls
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.vm import VM
+from repro.workloads.base import Workload
+
+__all__ = ["DispatchOutcome", "XDMSystem", "XDMVariant", "make_variant"]
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """Where an application landed and with what configuration."""
+
+    app: str
+    vm: str
+    backend: str
+    #: "online" | "free" | "switched" | "created"
+    how: str
+    decision: ConfigDecision
+
+
+class XDMSystem:
+    """One xDM-managed server node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ServerSpec | None = None,
+        backend_kinds: tuple[BackendKind, ...] = (BackendKind.SSD, BackendKind.RDMA),
+        warm_vms: int = 2,
+        vm_memory: int = gib(8),
+        vm_cpus: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec or paper_testbed()
+        self.switch = self.spec.pcie_switch(sim)
+        self.devices: dict[str, FarMemoryDevice] = {}
+        for kind in backend_kinds:
+            dev = make_device(sim, kind, switch=self.switch, name=str(kind))
+            self.devices[str(kind)] = dev
+        self.console = SmartConsole()
+        self.switcher = ImplicitSwitcher(
+            {name: (dev, xdm_config()) for name, dev in self.devices.items()}
+        )
+        self.hypervisor = Hypervisor(sim, self.spec)
+        self.outcomes: list[DispatchOutcome] = []
+        # warm-start: pre-boot a pool of VMs with all backend modules
+        # registered (pre-assembled patches), one backend started each
+        for i in range(warm_vms):
+            controls = VMResourceControls(
+                cpu_cores=vm_cpus,
+                memory_bytes=vm_memory,
+                network_channels=2,
+                swap_bytes=gib(32),
+            )
+            boot = self.hypervisor.create_vm(controls, name=f"vm{i}")
+            sim.run(until=boot)
+            vm = self.hypervisor.vms[f"vm{i}"]
+            self._register_modules(vm)
+            start = vm.switch_backend(list(self.devices)[i % len(self.devices)])
+            sim.run(until=start)
+
+    def _register_modules(self, vm: VM) -> None:
+        for name, dev in self.devices.items():
+            module = build_backend_module(self.sim, BackendKind(name), dev)
+            module.name = name  # frontend addresses modules by backend name
+            vm.frontend.register(module)
+
+    # -- Algorithm 1 ---------------------------------------------------------
+    def dispatch(self, workload: Workload, scale: float = 1.0, fm_ratio: float | None = None) -> DispatchOutcome:
+        """Place one application per Algorithm 1; returns the outcome."""
+        features = workload.features(scale)                       # line 2
+        compute = workload.compute_time(scale)
+        backend = self.switcher.decide(                           # line 3
+            workload.name, features, compute,
+            fault_parallelism=workload.spec.fault_parallelism,
+        )
+        decision = self.console.configure(                        # line 4
+            features,
+            self.devices[backend],
+            fault_parallelism=workload.spec.fault_parallelism,
+            fm_ratio=fm_ratio,
+            numa_sensitivity=workload.spec.numa_sensitivity,
+        )
+
+        def finish(vm: VM, how: str) -> DispatchOutcome:
+            vm.dispatch(workload.name)
+            outcome = DispatchOutcome(
+                app=workload.name, vm=vm.name, backend=backend, how=how, decision=decision
+            )
+            self.outcomes.append(outcome)
+            return outcome
+
+        # lines 5-9: online VM already on the right backend with room
+        for vm in self.hypervisor.online_vms():
+            if vm.backend == backend and vm.accept(workload.name):
+                return finish(vm, "online")
+        # lines 11-15: free VM already on the right backend
+        for vm in self.hypervisor.free_vms():
+            if vm.backend == backend and vm.accept(workload.name):
+                return finish(vm, "free")
+        # lines 16-20: switch a free VM to the required backend
+        free = self.hypervisor.free_vms()
+        if free:
+            vm = free[0]
+            done = vm.switch_backend(backend)
+            self.sim.run(until=done)
+            return finish(vm, "switched")
+        # lines 21-25: create a VM if the host has room
+        controls = VMResourceControls(
+            cpu_cores=2, memory_bytes=gib(4), network_channels=2, swap_bytes=gib(32)
+        )
+        if self.hypervisor.host_resource_available(controls):
+            boot = self.hypervisor.create_vm(controls)
+            self.sim.run(until=boot)
+            vm = self.hypervisor.vms[f"vm{self.hypervisor._vm_seq}"]
+            self._register_modules(vm)
+            done = vm.switch_backend(backend)
+            self.sim.run(until=done)
+            return finish(vm, "created")
+        raise DispatchError(f"no VM available for {workload.name} and host is full")
+
+    def evaluate(self, workload: Workload, scale: float = 1.0, fm_ratio: float = 0.5):
+        """Predicted swap cost of this system's tuned config for a workload."""
+        features = workload.features(scale)
+        backend = self.switcher.decide(
+            workload.name, features, workload.compute_time(scale),
+            fault_parallelism=workload.spec.fault_parallelism, fm_ratio=fm_ratio,
+        )
+        decision = self.console.configure(
+            features, self.devices[backend],
+            fault_parallelism=workload.spec.fault_parallelism, fm_ratio=fm_ratio,
+        )
+        return decision
+
+
+@dataclass
+class XDMVariant:
+    """A Table-IV xDM hardware variant: a bundle of simultaneous FM paths."""
+
+    name: str
+    devices: list[FarMemoryDevice]
+    switch: PCIeSwitch
+    fm_size: int
+
+    @property
+    def max_bandwidth(self) -> float:
+        """Aggregate device read bandwidth (Table IV's Max BW column)."""
+        return sum(d.profile.read_bandwidth for d in self.devices)
+
+    def multipath(
+        self,
+        features,
+        fault_parallelism: float = 1.0,
+        console: SmartConsole | None = None,
+        fm_ratio: float | None = 0.5,
+    ) -> MultiPathModel:
+        """A tuned multi-path model over all of this variant's devices.
+
+        ``fm_ratio`` is the offload level the per-path configs are tuned
+        at (None = the console's hot-set-derived auto ratio); evaluate the
+        returned model at a matching ``local_pages``.
+        """
+        console = console or SmartConsole()
+        paths = []
+        for dev in self.devices:
+            decision = console.configure(
+                features, dev, fault_parallelism=fault_parallelism, fm_ratio=fm_ratio
+            )
+            paths.append(
+                (SwapPathModel(dev, features, fault_parallelism=fault_parallelism), decision.config)
+            )
+        return MultiPathModel(paths)
+
+
+def make_variant(name: str, sim: Simulator, spec: ServerSpec | None = None) -> XDMVariant:
+    """Build xDM-SSD / xDM-RDMA / xDM-Hetero per Table IV.
+
+    * ``xdm-ssd``    — 4x 7.9 GB/s NVMe (32 GB/s, 1 TB total)
+    * ``xdm-rdma``   — 3x dual-port NICs at ~10.7 GB/s (32 GB/s, 256 GB)
+    * ``xdm-hetero`` — 2 NICs + 2 NVMe (32 GB/s, ~1.3 TB)
+    """
+    spec = spec or paper_testbed()
+    switch = spec.pcie_switch(sim)
+    if name == "xdm-ssd":
+        devices = [
+            make_device(sim, BackendKind.SSD, switch=switch, name=f"nvme{i}",
+                        read_bandwidth=GBps(7.9), capacity=tib(1) // 4)
+            for i in range(4)
+        ]
+        return XDMVariant(name, devices, switch, fm_size=tib(1))
+    if name == "xdm-rdma":
+        devices = [
+            make_device(sim, BackendKind.RDMA, switch=switch, name=f"mlx{i}",
+                        port_bandwidth=GBps(5.35), capacity=gib(256) // 3)
+            for i in range(3)
+        ]
+        return XDMVariant(name, devices, switch, fm_size=gib(256))
+    if name == "xdm-hetero":
+        devices = [
+            make_device(sim, BackendKind.RDMA, switch=switch, name=f"mlx{i}",
+                        port_bandwidth=GBps(5.35), capacity=gib(128))
+            for i in range(2)
+        ] + [
+            make_device(sim, BackendKind.SSD, switch=switch, name=f"nvme{i}",
+                        read_bandwidth=GBps(7.9 if i == 0 else 3.8), capacity=tib(1) // 2)
+            for i in range(2)
+        ]
+        return XDMVariant(name, devices, switch, fm_size=gib(256) + tib(1))
+    raise DispatchError(f"unknown xDM variant {name!r}")

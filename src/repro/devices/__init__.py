@@ -1,0 +1,42 @@
+"""Far-memory device models.
+
+Each device exposes two complementary interfaces:
+
+* an **analytic** interface (:meth:`~repro.devices.base.FarMemoryDevice.read_latency`
+  etc.) giving closed-form service times as a function of transfer
+  granularity and allocated I/O width — used by the fast path model that
+  evaluates thousands of configurations; and
+* a **discrete-event** interface (:meth:`~repro.devices.base.FarMemoryDevice.read`)
+  that queues on the device's channel pool, its internal media pipe, its
+  PCIe slot, and the shared root complex — used when concurrency and
+  contention matter (isolation and saturation experiments).
+
+Concrete models: :class:`~repro.devices.ssd.NVMeSSD`,
+:class:`~repro.devices.hdd.HDD`, :class:`~repro.devices.rdma.RDMANic`,
+:class:`~repro.devices.dram.FarDRAM`, :class:`~repro.devices.cxl.CXLMemory`.
+:data:`~repro.devices.registry.FM_TECH_CATALOG` reproduces Fig 1b's
+commercial bandwidth comparison.
+"""
+
+from repro.devices.base import DeviceProfile, FarMemoryDevice
+from repro.devices.ssd import NVMeSSD
+from repro.devices.hdd import HDD
+from repro.devices.rdma import RDMANic
+from repro.devices.dram import FarDRAM
+from repro.devices.cxl import CXLMemory
+from repro.devices.zswap import ZswapPool
+from repro.devices.registry import FM_TECH_CATALOG, BackendKind, make_device
+
+__all__ = [
+    "DeviceProfile",
+    "FarMemoryDevice",
+    "NVMeSSD",
+    "HDD",
+    "RDMANic",
+    "FarDRAM",
+    "CXLMemory",
+    "ZswapPool",
+    "BackendKind",
+    "FM_TECH_CATALOG",
+    "make_device",
+]

@@ -1,0 +1,238 @@
+"""Base class and shared latency model for far-memory devices.
+
+The service-time model for one I/O of ``n`` bytes at granularity ``g``::
+
+    t(n) = setup + ceil(n/g) * (per_op + g / media_bw)      (idle device)
+
+``setup`` is the software-stack entry cost paid once per request batch
+(syscall/driver/doorbell), ``per_op`` is the per-operation device cost
+(NVMe command, RDMA verb post + completion, disk seek for HDD), and
+``media_bw`` is the sustained media bandwidth.  Queueing across the
+configured I/O width and contention on PCIe are layered on top by the DES
+interface; the analytic interface approximates width-``w`` parallelism as a
+``1/min(w, ops)`` divisor on the per-op stream with a serial setup.
+
+This captures the two effects the paper's console exploits:
+
+* *granularity* — larger units amortize ``per_op`` (Fig 5a's falling curve)
+  but, combined with a low data-fragment ratio, waste media bandwidth
+  (the path model applies that amplification, Fig 10);
+* *I/O width* — more channels help until ``per_op`` parallelism is
+  exhausted or the PCIe/media pipe saturates (Fig 5b's crossing curves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.simcore import FairShareLink, Resource, Simulator
+from repro.topology.pcie import PCIeLink, PCIeSwitch
+from repro.units import PAGE_SIZE
+
+__all__ = ["DeviceProfile", "FarMemoryDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Immutable performance envelope of a device."""
+
+    #: Human-readable technology name ("NVMe SSD", "ConnectX-5", ...).
+    tech: str
+    #: Sustained media read bandwidth, bytes/second.
+    read_bandwidth: float
+    #: Sustained media write bandwidth, bytes/second.
+    write_bandwidth: float
+    #: Per-operation read cost, seconds (command/verb/seek).
+    read_op_cost: float
+    #: Per-operation write cost, seconds.
+    write_op_cost: float
+    #: Per-request software setup cost, seconds.
+    setup_cost: float
+    #: Number of independent hardware channels/queues.
+    channels: int
+    #: Device capacity in bytes.
+    capacity: int
+    #: Relative device cost (the denominator of the paper's MEI metric);
+    #: normalized so a SATA/NVMe SSD ~ 1.0 and RDMA-attached DRAM is the
+    #: most expensive medium per byte.
+    cost_factor: float = 1.0
+    #: Fraction of the per-op *latency* that occupies the channel when ops
+    #: are pipelined (queueing-theory service time vs response time).  An
+    #: RDMA QP with many posted reads sustains far more than 1/latency
+    #: ops/s; a disk arm is busy for its whole seek.
+    occupancy_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ConfigurationError(f"{self.tech}: bandwidths must be positive")
+        if min(self.read_op_cost, self.write_op_cost, self.setup_cost) < 0:
+            raise ConfigurationError(f"{self.tech}: op costs must be non-negative")
+        if self.channels < 1:
+            raise ConfigurationError(f"{self.tech}: channels must be >= 1")
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.tech}: capacity must be positive")
+        if self.cost_factor <= 0:
+            raise ConfigurationError(f"{self.tech}: cost_factor must be positive")
+        if not 0.0 < self.occupancy_fraction <= 1.0:
+            raise ConfigurationError(f"{self.tech}: occupancy_fraction must be in (0, 1]")
+
+
+class FarMemoryDevice:
+    """A far-memory backend device attached to a PCIe slot.
+
+    Subclasses fix the :class:`DeviceProfile` and may override
+    :meth:`_op_cost` for medium-specific behaviour (HDD seeks, RDMA
+    doorbell batching).
+    """
+
+    #: Fraction of the media bandwidth a single channel can sustain.
+    SINGLE_CHANNEL_FRACTION = 1.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        link: PCIeLink | None = None,
+        switch: PCIeSwitch | None = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.link = link
+        self.switch = switch
+        self.name = name or profile.tech
+        self.channel_pool = Resource(sim, capacity=profile.channels, name=f"{self.name}:chan")
+        # shared media pipes: all channels contend for the same flash/port/
+        # copy-engine bandwidth (reads and writes have separate envelopes)
+        self._media_read = FairShareLink(sim, profile.read_bandwidth, name=f"{self.name}:media-r")
+        self._media_write = FairShareLink(sim, profile.write_bandwidth, name=f"{self.name}:media-w")
+        # metrics
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    # Analytic interface
+    # ------------------------------------------------------------------
+    def _op_cost(self, write: bool, granularity: int) -> float:
+        """Per-operation cost at a given granularity; subclasses may bend this."""
+        return self.profile.write_op_cost if write else self.profile.read_op_cost
+
+    def _media_bw(self, write: bool) -> float:
+        return self.profile.write_bandwidth if write else self.profile.read_bandwidth
+
+    def effective_bandwidth(self, write: bool = False, io_width: int | None = None) -> float:
+        """Deliverable bytes/second given ``io_width`` channels and the PCIe slot."""
+        width = self._clamp_width(io_width)
+        media = self._media_bw(write) * min(
+            1.0, self.SINGLE_CHANNEL_FRACTION * width
+        )
+        if self.link is not None:
+            media = min(media, self.link.bandwidth)
+        return media
+
+    def _clamp_width(self, io_width: int | None) -> int:
+        if io_width is None:
+            return self.profile.channels
+        if io_width < 1:
+            raise ConfigurationError(f"io_width must be >= 1, got {io_width}")
+        return min(io_width, self.profile.channels)
+
+    def transfer_latency(
+        self,
+        nbytes: int,
+        write: bool = False,
+        granularity: int = PAGE_SIZE,
+        io_width: int | None = None,
+    ) -> float:
+        """Idle-device service time for one request of ``nbytes``.
+
+        ``granularity`` is the unit size individual operations move
+        (RDMA chunk size / SSD block size / page size); ``io_width`` is the
+        number of channels the request may fan out across.
+        """
+        if nbytes <= 0:
+            return 0.0
+        if granularity <= 0:
+            raise ConfigurationError(f"granularity must be positive, got {granularity}")
+        width = self._clamp_width(io_width)
+        ops = math.ceil(nbytes / granularity)
+        # Devices move whole granules; a partial last op still transfers a
+        # full unit -> built-in I/O amplification at large grains.
+        moved = ops * granularity
+        per_op = self._op_cost(write, granularity) + granularity / self._media_bw(write)
+        # Binding constraint among: the per-channel command streams (each
+        # channel keeps one op in flight), the media bandwidth, and the
+        # PCIe slot. Channels pipeline, so these overlap rather than add.
+        stream = ops * per_op / min(width, ops)
+        stream = max(stream, moved / self._media_bw(write))
+        if self.link is not None:
+            stream = max(stream, moved / self.link.bandwidth)
+        return self.profile.setup_cost + stream
+
+    def page_latency(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:
+        """Service time for one page-sized (= one-granule) operation."""
+        return self.transfer_latency(granularity, write=write, granularity=granularity, io_width=1)
+
+    def op_occupancy(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:
+        """Channel hold time of one pipelined op (throughput-side cost).
+
+        Distinct from :meth:`page_latency` (the response time a blocked
+        fault waits): with many ops in flight, each occupies its channel
+        for only ``occupancy_fraction`` of its latency plus the wire time.
+        """
+        return (
+            self._op_cost(write, granularity) * self.profile.occupancy_fraction
+            + granularity / self._media_bw(write)
+        )
+
+    # ------------------------------------------------------------------
+    # Discrete-event interface
+    # ------------------------------------------------------------------
+    def read(self, nbytes: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """DES process: read ``nbytes`` with channel + PCIe contention."""
+        return self.sim.process(
+            self._io(nbytes, write=False, granularity=granularity, weight=weight),
+            name=f"{self.name}:read",
+        )
+
+    def write(self, nbytes: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """DES process: write ``nbytes`` with channel + PCIe contention."""
+        return self.sim.process(
+            self._io(nbytes, write=True, granularity=granularity, weight=weight),
+            name=f"{self.name}:write",
+        )
+
+    def _io(self, nbytes: int, write: bool, granularity: int, weight: float):
+        if nbytes <= 0:
+            return 0.0
+        start = self.sim.now
+        grant = yield self.channel_pool.request()
+        try:
+            ops = math.ceil(nbytes / granularity)
+            moved = ops * granularity  # whole granules cross the wire
+            # command overhead is serial on the channel ...
+            command = self.profile.setup_cost + ops * self._op_cost(write, granularity)
+            yield self.sim.timeout(command)
+            # ... while the payload streams through media and PCIe stages
+            # concurrently (DMA pipelining): wait for the slowest stage
+            media = self._media_write if write else self._media_read
+            stages = [media.transfer(moved, weight=weight)]
+            if self.link is not None:
+                stages.append(self.link.transfer(moved, weight=weight))
+            if self.switch is not None:
+                stages.append(self.switch.transfer(moved, weight=weight))
+            yield self.sim.all_of(stages)
+        finally:
+            self.channel_pool.release(grant)
+        self.ops += 1
+        if write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        return self.sim.now - start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name} {self.profile.tech}>"

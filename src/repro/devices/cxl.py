@@ -1,0 +1,49 @@
+"""CXL type-3 memory expander backend.
+
+The paper (Section IV-B2, final paragraph) treats CXL memory either as a
+CPU-less NUMA node (see :meth:`repro.topology.numa.NUMADomain.with_cxl_node`)
+or as one more far-memory backend; this class is the latter.  Numbers
+follow DirectCXL-class prototypes: sub-microsecond load/store reach,
+~28 GB/s on a x8 CXL 1.0 port (the "CXL 1.0" bar of Fig 1b).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile, FarMemoryDevice
+from repro.simcore import Simulator
+from repro.topology.pcie import PCIeLink, PCIeSwitch
+from repro.units import GBps, gib, usec
+
+__all__ = ["CXLMemory"]
+
+
+class CXLMemory(FarMemoryDevice):
+    """A CXL.mem expander used as a swap/migration backend."""
+
+    SINGLE_CHANNEL_FRACTION = 0.5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = gib(128),
+        bandwidth: float = GBps(28.0),
+        op_cost: float = usec(0.35),
+        setup_cost: float = usec(0.2),
+        channels: int = 8,
+        link: PCIeLink | None = None,
+        switch: PCIeSwitch | None = None,
+        name: str = "cxl0",
+    ) -> None:
+        profile = DeviceProfile(
+            tech="CXL 1.0",
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth * 0.9,
+            read_op_cost=op_cost,
+            write_op_cost=op_cost,
+            setup_cost=setup_cost,
+            channels=channels,
+            capacity=capacity,
+            cost_factor=6.0,
+            occupancy_fraction=0.5,
+        )
+        super().__init__(sim, profile, link=link, switch=switch, name=name)

@@ -1,0 +1,50 @@
+"""Far-DRAM backend — spare host memory used as a swap device.
+
+XMemPod and Fastswap's "DRAM backend" tier: pages are memcpy'd into a
+reserved region of host DRAM (or a neighbouring VM's balloon).  It is the
+fastest backend in Fig 2b and the most expensive per byte — which is why
+the MEI metric (performance gain / device cost) often steers cheap
+workloads away from it even though it is fastest.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile, FarMemoryDevice
+from repro.simcore import Simulator
+from repro.topology.pcie import PCIeLink, PCIeSwitch
+from repro.units import GBps, gib, usec
+
+__all__ = ["FarDRAM"]
+
+
+class FarDRAM(FarMemoryDevice):
+    """Reserved host DRAM acting as the swap backing store."""
+
+    #: A single copy thread sustains most of a memcpy stream.
+    SINGLE_CHANNEL_FRACTION = 0.7
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = gib(32),
+        bandwidth: float = GBps(13.0),
+        copy_op_cost: float = usec(0.9),
+        setup_cost: float = usec(0.6),
+        channels: int = 8,
+        link: PCIeLink | None = None,
+        switch: PCIeSwitch | None = None,
+        name: str = "fardram0",
+    ) -> None:
+        profile = DeviceProfile(
+            tech="Far DRAM",
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth,
+            read_op_cost=copy_op_cost,
+            write_op_cost=copy_op_cost,
+            setup_cost=setup_cost,
+            channels=channels,
+            capacity=capacity,
+            cost_factor=8.0,  # DRAM is the priciest medium per byte
+            occupancy_fraction=0.8,
+        )
+        super().__init__(sim, profile, link=link, switch=switch, name=name)

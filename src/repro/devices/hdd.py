@@ -1,0 +1,67 @@
+"""Rotational disk backend — the Linux-swap baseline's backing store.
+
+The paper's Table IV pins "Linux swap" to a 6 TB disk at 2 GB/s max array
+bandwidth (0.4 GB/s per spindle in the testbed description).  Disk is the
+*worst* backend in every figure, which is entirely due to the per-operation
+seek + rotational cost modeled here: ~4 ms per random 4 KiB op dwarfs the
+transfer time, so small-granularity swap traffic collapses to a few MB/s —
+exactly Fig 14's disk bars.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile, FarMemoryDevice
+from repro.simcore import Simulator
+from repro.topology.pcie import PCIeLink, PCIeSwitch
+from repro.units import GBps, MiB, msec, tib, usec
+
+__all__ = ["HDD"]
+
+
+class HDD(FarMemoryDevice):
+    """A 7.2k-RPM class hard disk used as swap space."""
+
+    SINGLE_CHANNEL_FRACTION = 1.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = tib(6),
+        bandwidth: float = GBps(0.4),
+        seek_cost: float = msec(4.2),
+        setup_cost: float = usec(10.0),
+        link: PCIeLink | None = None,
+        switch: PCIeSwitch | None = None,
+        name: str = "hdd0",
+    ) -> None:
+        profile = DeviceProfile(
+            tech="HDD",
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth * 0.95,
+            read_op_cost=seek_cost,
+            write_op_cost=seek_cost,
+            setup_cost=setup_cost,
+            channels=1,  # one actuator arm: no command-level parallelism
+            capacity=capacity,
+            cost_factor=0.2,  # cheapest medium per byte
+            occupancy_fraction=1.0,
+        )
+        super().__init__(sim, profile, link=link, switch=switch, name=name)
+
+    def _op_cost(self, write: bool, granularity: int) -> float:
+        """Seeks amortize over large sequential extents.
+
+        One seek covers a whole extent; reading a 1 MiB extent costs one
+        seek, not 256. Past ~1 MiB the head streams and extra size is pure
+        transfer time (handled by the bandwidth term), so the per-op seek
+        cost is flat in granularity — which is precisely why large
+        granularity rescues disks and small random swap kills them.
+        """
+        del write, granularity
+        return self.profile.read_op_cost
+
+    def sequential_bandwidth(self) -> float:
+        """Streaming bandwidth with 1 MiB extents (the media rate)."""
+        extent = 1 * MiB
+        t = self.transfer_latency(extent, granularity=extent, io_width=1)
+        return extent / t

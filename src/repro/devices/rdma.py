@@ -1,0 +1,110 @@
+"""RDMA NIC backend — one-sided reads/writes to remote DRAM.
+
+Models a Mellanox ConnectX-5 class card as used by the paper (dual-port,
+10 GB/s aggregate as in Table IV, RoCE, OFED 5.4).  The tunables the paper's console exercises are
+all first-class here:
+
+* **chunk size** — the data-granularity knob: one verb moves one chunk, so
+  larger chunks amortize the ~3 µs post/poll cost (Fig 5a);
+* **queue pairs / event queues** — the I/O-width knob ("adding multiple
+  transfer queues on RDMA", Section IV-B2): ``channels`` in the base model;
+* **shared receive queue (SRQ)** — "We further enhance RDMA-based far
+  memory efficiency by enabling shared receive queues": shaves per-op
+  receive-side cost when many QPs are active.
+
+SR-IOV virtual functions (one per VM, Section IV-A1) are carved out with
+:meth:`virtual_function`, each a weighted slice of the physical port.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceProfile, FarMemoryDevice
+from repro.simcore import Simulator
+from repro.topology.pcie import PCIeLink, PCIeSwitch
+from repro.units import GBps, gib, usec
+
+__all__ = ["RDMANic"]
+
+
+class RDMANic(FarMemoryDevice):
+    """An RDMA NIC reaching a remote memory pool with one-sided verbs."""
+
+    #: One queue pair drives roughly 40% of a port's line rate.
+    SINGLE_CHANNEL_FRACTION = 0.4
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = gib(256),
+        port_bandwidth: float = GBps(5.0),
+        ports: int = 2,
+        verb_cost: float = usec(3.0),
+        setup_cost: float = usec(1.5),
+        queue_pairs: int = 8,
+        srq_enabled: bool = False,
+        link: PCIeLink | None = None,
+        switch: PCIeSwitch | None = None,
+        name: str = "mlx5_0",
+    ) -> None:
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        bandwidth = port_bandwidth * ports
+        profile = DeviceProfile(
+            tech="RDMA NIC",
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth,
+            read_op_cost=verb_cost,
+            write_op_cost=verb_cost * 0.9,  # writes post-and-forget; reads poll
+            setup_cost=setup_cost,
+            channels=queue_pairs,
+            capacity=capacity,
+            cost_factor=3.5,  # remote DRAM: the expensive medium MEI divides by
+            occupancy_fraction=0.22,
+        )
+        super().__init__(sim, profile, link=link, switch=switch, name=name)
+        self.ports = ports
+        self.port_bandwidth = port_bandwidth
+        self.srq_enabled = srq_enabled
+        self._vf_count = 0
+
+    #: SRQ consolidates receive-side buffer management across QPs.
+    _SRQ_DISCOUNT = 0.8
+
+    def _op_cost(self, write: bool, granularity: int) -> float:
+        base = super()._op_cost(write, granularity)
+        if self.srq_enabled:
+            base *= self._SRQ_DISCOUNT
+        return base
+
+    def enable_srq(self) -> None:
+        """Turn on the shared receive queue (console optimization)."""
+        self.srq_enabled = True
+
+    def disable_srq(self) -> None:
+        """Turn the shared receive queue back off."""
+        self.srq_enabled = False
+
+    def virtual_function(self, share: float = 1.0, name: str = "") -> "RDMANic":
+        """Carve an SR-IOV virtual function off this physical card.
+
+        The VF sees ``share`` of the physical bandwidth and its own QP set;
+        per-verb costs are unchanged (SR-IOV is direct hardware access —
+        the point of the paper using it instead of paravirtual NICs).
+        """
+        if not 0.0 < share <= 1.0:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        self._vf_count += 1
+        vf = RDMANic(
+            self.sim,
+            capacity=self.profile.capacity,
+            port_bandwidth=self.port_bandwidth * share,
+            ports=self.ports,
+            verb_cost=self.profile.read_op_cost,
+            setup_cost=self.profile.setup_cost,
+            queue_pairs=self.profile.channels,
+            srq_enabled=self.srq_enabled,
+            link=self.link,      # VFs share the physical card's slot
+            switch=self.switch,
+            name=name or f"{self.name}vf{self._vf_count}",
+        )
+        return vf

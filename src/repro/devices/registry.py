@@ -1,0 +1,108 @@
+"""Backend kinds, the Fig 1b technology catalog, and a device factory.
+
+:data:`FM_TECH_CATALOG` reproduces Figure 1-(b): the bandwidth spread of
+commercial far-memory technologies (7.9 — 46 GB/s) against the 64 GB/s a
+PCIe 4.0 x16 root port offers — the gap that motivates multi-backend
+disaggregated memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.devices.base import FarMemoryDevice
+from repro.devices.cxl import CXLMemory
+from repro.devices.dram import FarDRAM
+from repro.devices.hdd import HDD
+from repro.devices.rdma import RDMANic
+from repro.devices.ssd import NVMeSSD
+from repro.devices.zswap import ZswapPool
+from repro.errors import ConfigurationError
+from repro.simcore import Simulator
+from repro.topology.pcie import PCIeGen, PCIeSwitch, pcie_lane_bandwidth
+from repro.units import GBps
+
+__all__ = ["BackendKind", "FMTech", "FM_TECH_CATALOG", "make_device", "pcie4_x16_bandwidth"]
+
+
+class BackendKind(str, enum.Enum):
+    """The far-memory backend families xDM can switch among."""
+
+    SSD = "ssd"
+    RDMA = "rdma"
+    DRAM = "dram"
+    HDD = "hdd"
+    CXL = "cxl"
+    ZSWAP = "zswap"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FMTech:
+    """One bar of Fig 1b: a commercial far-memory technology."""
+
+    name: str
+    bandwidth: float  # bytes/second
+    kind: BackendKind
+
+
+#: Figure 1-(b): "CXL 1.0, DPU card of BlueField 3, ConnectX-5/ConnectX-6
+#: RDMA card, and NVMe-based SSD", spanning 7.9 - 46 GB/s.
+FM_TECH_CATALOG: tuple[FMTech, ...] = (
+    FMTech("NVMe SSD", GBps(7.9), BackendKind.SSD),
+    FMTech("ConnectX-5", GBps(12.5), BackendKind.RDMA),
+    FMTech("ConnectX-6", GBps(25.0), BackendKind.RDMA),
+    FMTech("CXL 1.0", GBps(32.0), BackendKind.CXL),
+    FMTech("BlueField-3", GBps(46.0), BackendKind.RDMA),
+)
+
+
+def pcie4_x16_bandwidth() -> float:
+    """The 64 GB/s PCIe 4.0 x16 ceiling quoted in the paper's introduction.
+
+    The paper counts both directions (2 x 32 GB/s), as PCIe marketing does;
+    :func:`repro.topology.pcie.pcie_lane_bandwidth` is per direction.
+    """
+    return 2 * pcie_lane_bandwidth(PCIeGen.GEN4) * 16
+
+
+_SLOT_WIDTH = {
+    BackendKind.SSD: 8,    # Table VII: SSD backend at Speed 8GT/s, Width x8
+    BackendKind.RDMA: 16,  # Table VII: RDMA backend at Speed 8GT/s, Width x16
+    BackendKind.DRAM: 16,
+    BackendKind.HDD: 4,
+    BackendKind.CXL: 8,
+    BackendKind.ZSWAP: 1,  # never leaves the memory bus; slot is nominal
+}
+
+
+def make_device(
+    sim: Simulator,
+    kind: BackendKind,
+    switch: PCIeSwitch | None = None,
+    name: str = "",
+    **kwargs,
+) -> FarMemoryDevice:
+    """Build a device of ``kind``, attached to ``switch`` when given.
+
+    Slot widths follow Table VII's lspci output (gen3 slots: Speed 8GT/s).
+    Extra ``kwargs`` forward to the concrete constructor.
+    """
+    link = None
+    if switch is not None:
+        link = switch.attach(PCIeGen.GEN3, _SLOT_WIDTH[kind], name=name or str(kind))
+    factory = {
+        BackendKind.SSD: NVMeSSD,
+        BackendKind.RDMA: RDMANic,
+        BackendKind.DRAM: FarDRAM,
+        BackendKind.HDD: HDD,
+        BackendKind.CXL: CXLMemory,
+        BackendKind.ZSWAP: ZswapPool,
+    }.get(kind)
+    if factory is None:
+        raise ConfigurationError(f"unknown backend kind: {kind!r}")
+    device = factory(sim, link=link, switch=switch, **({"name": name} if name else {}), **kwargs)
+    return device

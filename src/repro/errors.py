@@ -1,0 +1,77 @@
+"""Exception hierarchy for the xDM reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base type at the public-API boundary.  Subsystems raise the most
+specific subclass available; generic ``ValueError``/``TypeError`` are
+reserved for plain argument-validation mistakes at function entry.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "SimulationError",
+    "DeadlockError",
+    "SwapError",
+    "SlotExhaustedError",
+    "BackendUnavailableError",
+    "SwitchInProgressError",
+    "VMStateError",
+    "DispatchError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Raised e.g. for a far-memory ratio outside ``[0, 0.9]`` (Table III of the
+    paper), a PCIe width that is not a power of two, or an I/O width larger
+    than the device provides.
+    """
+
+
+class CapacityError(ReproError):
+    """A resource (DRAM, swap space, PCIe lanes, VM slots) was exhausted."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class SwapError(ReproError):
+    """Base class for swap-subsystem failures."""
+
+
+class SlotExhaustedError(SwapError, CapacityError):
+    """No free slot remained in a swap area (device swap space full)."""
+
+
+class BackendUnavailableError(SwapError):
+    """The requested far-memory backend is absent or marked unavailable."""
+
+
+class SwitchInProgressError(SwapError):
+    """A backend switch was requested while another switch is still active."""
+
+
+class VMStateError(ReproError):
+    """A VM lifecycle operation was invalid for the VM's current state."""
+
+
+class DispatchError(ReproError):
+    """The Algorithm-1 dispatcher could not place an application."""
+
+
+class TraceError(ReproError):
+    """A page trace was malformed or incompatible with the requested analysis."""

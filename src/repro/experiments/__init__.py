@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment is a function ``run(ctx) -> ExperimentResult`` registered
+in :mod:`repro.experiments.runner`; the CLI (``python -m repro``) and the
+benchmarks call through that registry.  Results are plain rows + headline
+metrics so they can be printed, CSV'd, or asserted against.
+
+Experiment ids follow the paper: ``fig01b``, ``fig02b``, ``fig03``,
+``fig04``, ``fig05``, ``fig08``, ``fig10_11``, ``fig12``, ``table06``,
+``fig14``, ``table07``, ``fig15``, ``fig16``, ``fig17``, ``fig18``,
+``fig19``, plus the repo's own ``ablation``.
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

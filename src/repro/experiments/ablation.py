@@ -1,0 +1,76 @@
+"""Ablation: which of xDM's knobs buys what.
+
+Not a paper figure — DESIGN.md's section 6.  Over the whole suite on the
+RDMA and SSD backends, compare sys time of:
+
+* **full** — console-tuned granularity + width (the Table VI config);
+* **no-granularity** — width tuned, granularity pinned at 4 KiB;
+* **no-width** — granularity tuned, width pinned at 1;
+* **sync-faults** — full tuning but synchronous (polling) completion;
+* **hierarchical** — full tuning on a hierarchical path (the host-bypass
+  value).
+
+Reported numbers are geometric-mean slowdowns vs *full* (>= 1.0; higher =
+that knob matters more).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.devices import BackendKind
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.swap import PathType, SwapPathModel
+from repro.units import PAGE_SIZE
+
+__all__ = ["run", "VARIANTS"]
+
+VARIANTS = ("no-granularity", "no-width", "sync-faults", "hierarchical")
+FM_RATIO = 0.5
+_BACKENDS = (BackendKind.RDMA, BackendKind.SSD)
+
+
+def _variant_sys_time(ctx: ExperimentContext, name: str, kind: BackendKind, variant: str) -> float:
+    w = ctx.workload(name)
+    f = ctx.features(name)
+    decision = ctx.console.configure(
+        f, ctx.device(kind), fault_parallelism=w.spec.fault_parallelism, fm_ratio=FM_RATIO
+    )
+    cfg = decision.config
+    if variant == "no-granularity":
+        cfg = replace(cfg, granularity=PAGE_SIZE)
+    elif variant == "no-width":
+        cfg = replace(cfg, io_width=1)
+    elif variant == "sync-faults":
+        cfg = replace(cfg, synchronous_faults=True)
+    elif variant == "hierarchical":
+        cfg = replace(cfg, path=PathType.HIERARCHICAL)
+    model = SwapPathModel(ctx.device(kind), f, fault_parallelism=w.spec.fault_parallelism)
+    return model.cost(decision.local_pages, cfg).sys_time
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Geomean slowdown of each ablated variant vs the full console config."""
+    rows = []
+    geomeans = {}
+    for variant in VARIANTS:
+        logs = []
+        for kind in _BACKENDS:
+            for name in ctx.all_workloads():
+                full = _variant_sys_time(ctx, name, kind, "full")
+                ablated = _variant_sys_time(ctx, name, kind, variant)
+                if full > 0 and ablated > 0:
+                    logs.append(math.log(ablated / full))
+        geo = math.exp(sum(logs) / len(logs)) if logs else 1.0
+        geomeans[variant] = geo
+        rows.append([variant, geo])
+    return ExperimentResult(
+        name="ablation",
+        title="Knob ablation: geomean sys-time slowdown vs full xDM tuning",
+        headers=["variant", "geomean_slowdown"],
+        rows=rows,
+        metrics={f"slowdown_{k.replace('-', '_')}": v for k, v in geomeans.items()},
+        notes="every variant should be >= 1.0; the gap is that knob's contribution",
+    )

@@ -1,0 +1,38 @@
+"""Fig 1-(b): bandwidth of commercial far-memory technologies vs PCIe.
+
+Reproduces the motivating gap: every single FM device (7.9 - 46 GB/s)
+leaves a large fraction of a PCIe 4.0 x16 root port (64 GB/s) idle.
+"""
+
+from __future__ import annotations
+
+from repro.devices.registry import FM_TECH_CATALOG, pcie4_x16_bandwidth
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.units import GB
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Emit one row per technology: bandwidth and share of the PCIe ceiling."""
+    ceiling = pcie4_x16_bandwidth()
+    rows = []
+    for tech in FM_TECH_CATALOG:
+        rows.append(
+            [tech.name, str(tech.kind), tech.bandwidth / GB, tech.bandwidth / ceiling]
+        )
+    rows.append(["PCIe 4.0 x16 (ceiling)", "-", ceiling / GB, 1.0])
+    bws = [t.bandwidth for t in FM_TECH_CATALOG]
+    return ExperimentResult(
+        name="fig01b",
+        title="Bandwidth comparison of far memory technologies",
+        headers=["technology", "kind", "GB/s", "fraction of PCIe 4.0 x16"],
+        rows=rows,
+        metrics={
+            "min_GBps": min(bws) / GB,
+            "max_GBps": max(bws) / GB,
+            "best_single_device_utilization": max(bws) / ceiling,
+        },
+        notes="no single device saturates the root port - the multi-backend motivation",
+    )

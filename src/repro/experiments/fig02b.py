@@ -1,0 +1,56 @@
+"""Fig 2-(b): access latency of different far-memory backends.
+
+"We transfer 64MB data with page granularities (4KB) and test the latency
+on each far memory backend."  The reproduction issues the same request
+against each device model (single channel — the naive single-path use)
+and reports end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from repro.devices import BackendKind
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.units import MiB, PAGE_SIZE, msec
+
+__all__ = ["run", "TRANSFER_BYTES"]
+
+TRANSFER_BYTES = 64 * MiB
+
+#: Backend display order, slowest first (the paper's bar order).
+_ORDER = (
+    BackendKind.HDD,
+    BackendKind.SSD,
+    BackendKind.RDMA,
+    BackendKind.DRAM,
+    BackendKind.CXL,
+)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """One row per backend: 64 MiB @ 4 KiB latency, absolute and normalized."""
+    latencies = {}
+    for kind in _ORDER:
+        dev = ctx.device(kind)
+        latencies[kind] = dev.transfer_latency(
+            TRANSFER_BYTES, granularity=PAGE_SIZE, io_width=1
+        )
+    fastest = min(latencies.values())
+    rows = [
+        [str(k), latencies[k] * 1e3, latencies[k] / fastest]
+        for k in _ORDER
+    ]
+    ordered = [latencies[k] for k in _ORDER]
+    return ExperimentResult(
+        name="fig02b",
+        title="Access latency of far memory backends (64MB at 4KB pages)",
+        headers=["backend", "latency_ms", "x vs fastest"],
+        rows=rows,
+        metrics={
+            "hdd_over_ssd": latencies[BackendKind.HDD] / latencies[BackendKind.SSD],
+            "ssd_over_rdma": latencies[BackendKind.SSD] / latencies[BackendKind.RDMA],
+            "rdma_over_dram": latencies[BackendKind.RDMA] / latencies[BackendKind.DRAM],
+            "monotone_ordering": float(all(a > b for a, b in zip(ordered, ordered[1:]))),
+        },
+        notes="wide latency spread across backends motivates per-workload path choice",
+    )

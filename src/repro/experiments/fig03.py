@@ -1,0 +1,39 @@
+"""Fig 3: I/O (PCIe) bandwidth doubles roughly every three years."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.topology.pcie import PCIE_TREND_YEARS, PCIeGen, pcie_lane_bandwidth
+from repro.units import GB
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """One row per PCIe generation: year, x16 bidirectional bandwidth,
+    and the fitted doubling period of the whole series."""
+    rows = []
+    points = []
+    for gen in PCIeGen:
+        bw = 2 * pcie_lane_bandwidth(gen) * 16  # bidirectional x16, as Fig 3
+        year = PCIE_TREND_YEARS[gen]
+        rows.append([f"PCIe {int(gen)}.0", year, bw / GB])
+        points.append((year, bw))
+    # least-squares fit of log2(bw) vs year -> doubling period
+    n = len(points)
+    xs = [y for y, _ in points]
+    ys = [math.log2(b) for _, b in points]
+    xm, ym = sum(xs) / n, sum(ys) / n
+    slope = sum((x - xm) * (y - ym) for x, y in zip(xs, ys)) / sum((x - xm) ** 2 for x in xs)
+    doubling_years = 1.0 / slope
+    return ExperimentResult(
+        name="fig03",
+        title="PCIe bandwidth trend (x16, bidirectional)",
+        headers=["generation", "year", "GB/s"],
+        rows=rows,
+        metrics={"doubling_period_years": doubling_years},
+        notes="the paper quotes 'speeds double approximately every three years'",
+    )

@@ -1,0 +1,52 @@
+"""Figs 10 & 11: data-fragment structure and sequential/random behaviour.
+
+Fig 10 plots data segments and fragment ratios per workload; Fig 11 the
+maximum sequentially-accessed sizes and the sequential/random mix.  Both
+come straight out of the trace-analysis layer — this experiment tabulates
+them for the whole suite and checks the qualitative split the console
+relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.trace.analysis import footprint_segments
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Per workload: segment structure (Fig 10) and run structure (Fig 11)."""
+    rows = []
+    for name in ctx.all_workloads():
+        w = ctx.workload(name)
+        f = ctx.features(name)
+        seg = footprint_segments(w.trace(ctx.scale, ctx.seed).pages)
+        rows.append([
+            name,
+            int(seg.size),
+            float(np.mean(seg)) if seg.size else 0.0,
+            f.fragment_ratio,
+            f.seq_access_ratio,
+            f.max_seq_run,
+            f.interleave_ratio,
+        ])
+    frag = {r[0]: r[3] for r in rows}
+    seq = {r[0]: r[4] for r in rows}
+    return ExperimentResult(
+        name="fig10_11",
+        title="Data fragments (Fig 10) and sequential/random behaviour (Fig 11)",
+        headers=["workload", "segments", "mean_seg_pages", "fragment_ratio",
+                 "seq_access_ratio", "max_seq_run", "interleave"],
+        rows=rows,
+        metrics={
+            "stream_fragment_ratio": frag["stream"],
+            "sp_pg_fragment_ratio": frag["sp-pg"],
+            "stream_seq_ratio": seq["stream"],
+            "sort_seq_ratio": seq["sort"],
+        },
+        notes="the console's granularity/width decisions read exactly these columns",
+    )

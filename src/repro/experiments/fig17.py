@@ -1,0 +1,58 @@
+"""Fig 17: per-swap-operation latency under three isolation designs.
+
+Each probe workload is co-located with one noisy neighbour and its mean
+per-swap-op latency measured under:
+
+* **shared swap** — one channel, one LRU (Linux swap / Fastswap);
+* **isolated swap** — per-app channels on the host (Canvas);
+* **vm-isolated swap** — per-VM channels via SR-IOV/partitions (xDM).
+
+The paper finds isolation worth ~1.7x on average, with vm-isolation within
+a hair of Canvas-style host isolation.
+"""
+
+from __future__ import annotations
+
+from repro.devices import BackendKind
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.swap import ChannelMode, SwapConfig
+
+__all__ = ["run", "PROBES"]
+
+PROBES = ("lg-bfs", "sort", "tf-infer", "kmeans", "chat-int", "sp-pg")
+FM_RATIO = 0.5
+
+
+def _per_op_latency(ctx, name: str, mode: ChannelMode, co_tenants: int) -> float:
+    model = ctx.model(name, BackendKind.RDMA)
+    local = model.local_pages_for(FM_RATIO)
+    cfg = SwapConfig(channel=mode, co_tenants=co_tenants, io_width=2)
+    cost = model.cost(local, cfg)
+    ops = cost.ops_in + cost.ops_out
+    return cost.sys_time / ops if ops > 0 else 0.0
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Mean per-op latency per probe workload under the three designs."""
+    rows = []
+    speedups = []
+    for name in PROBES:
+        shared = _per_op_latency(ctx, name, ChannelMode.SHARED, co_tenants=1)
+        isolated = _per_op_latency(ctx, name, ChannelMode.ISOLATED, co_tenants=1)
+        vm_isolated = _per_op_latency(ctx, name, ChannelMode.VM_ISOLATED, co_tenants=1)
+        speedups.append(shared / vm_isolated if vm_isolated > 0 else 1.0)
+        rows.append([
+            name, shared * 1e6, isolated * 1e6, vm_isolated * 1e6,
+            shared / vm_isolated, vm_isolated / isolated,
+        ])
+    mean_speedup = sum(speedups) / len(speedups)
+    return ExperimentResult(
+        name="fig17",
+        title="Per-swap-op latency: shared vs isolated vs vm-isolated channels",
+        headers=["workload", "shared_us", "isolated_us", "vm_isolated_us",
+                 "shared/vm_isolated", "vm_isolated/isolated"],
+        rows=rows,
+        metrics={"mean_isolation_speedup": mean_speedup},
+        notes="paper: ~1.7x average speedup over shared; vm-isolated ~ isolated",
+    )

@@ -1,0 +1,74 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation,
+    cxl_study,
+    des_validation,
+    fig01b,
+    fig02b,
+    fig03,
+    fig04,
+    fig05,
+    fig08,
+    fig10_11,
+    fig12,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    online_study,
+    table06,
+    table07,
+    tier_study,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: experiment id -> run callable. Ids mirror the paper's table/figure numbers.
+EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "fig01b": fig01b.run,
+    "fig02b": fig02b.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig08": fig08.run,
+    "fig10_11": fig10_11.run,
+    "fig12": fig12.run,
+    "table06": table06.run,
+    "fig14": fig14.run,
+    "table07": table07.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "ablation": ablation.run,
+    "cxl_study": cxl_study.run,
+    "des_validation": des_validation.run,
+    "online_study": online_study.run,
+    "tier_study": tier_study.run,
+}
+
+
+def get_experiment(name: str) -> Callable[[ExperimentContext], ExperimentResult]:
+    """Look up an experiment by id."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str, ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Run one experiment (building a default context if none is given)."""
+    return get_experiment(name)(ctx or ExperimentContext())

@@ -1,0 +1,201 @@
+"""Exact LRU structures mirroring the kernel's reclaim lists.
+
+:class:`LRUCache` is a plain exact-LRU set with eviction callbacks — the
+workhorse for event-level fault simulation.  :class:`ActiveInactiveLRU`
+models Linux's two-generation scheme: pages enter the inactive list, are
+promoted on a second touch, and reclaim scans inactive before active —
+which is what gives co-located workloads on a *shared* swap channel their
+mutual interference (a burst from one tenant flushes the other's inactive
+list; the paper's Fig 17 quantifies the resulting latency).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Hashable
+
+__all__ = ["LRUCache", "ActiveInactiveLRU"]
+
+
+class LRUCache:
+    """An exact LRU over hashable keys with a fixed capacity (in entries)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Callable[[Hashable], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._od: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._od)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._od
+
+    def access(self, key: Hashable) -> bool:
+        """Touch ``key``; returns True on hit, False on miss (key inserted)."""
+        if key in self._od:
+            self._od.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._od[key] = None
+        if len(self._od) > self.capacity:
+            victim, _ = self._od.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        return False
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop ``key`` without counting an eviction; True if present."""
+        if key in self._od:
+            del self._od[key]
+            return True
+        return False
+
+    def resize(self, capacity: int) -> list[Hashable]:
+        """Change capacity; returns victims evicted by a shrink (LRU first)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        victims = []
+        while len(self._od) > self.capacity:
+            victim, _ = self._od.popitem(last=False)
+            self.evictions += 1
+            victims.append(victim)
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        return victims
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses so far (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def keys(self) -> list[Hashable]:
+        """Keys from least- to most-recently used."""
+        return list(self._od.keys())
+
+
+class ActiveInactiveLRU:
+    """Linux-style two-list LRU: inactive (probation) + active (protected).
+
+    * a missing page is inserted at the tail of **inactive**;
+    * a hit in inactive **promotes** to active (second-chance);
+    * a hit in active refreshes recency;
+    * when total size exceeds capacity, reclaim pops the head of inactive;
+      if inactive is empty, the head of active is **demoted** first
+      (shrink_active_list behaviour).
+
+    ``active_ratio`` bounds the protected share, as the kernel's
+    inactive_ratio heuristic does.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        active_ratio: float = 0.5,
+        on_evict: Callable[[Hashable], None] | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        if not 0.0 < active_ratio < 1.0:
+            raise ValueError(f"active_ratio must be in (0, 1), got {active_ratio}")
+        self.capacity = capacity
+        self.active_ratio = active_ratio
+        self.on_evict = on_evict
+        self._active: OrderedDict[Hashable, None] = OrderedDict()
+        self._inactive: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._active) + len(self._inactive)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._active or key in self._inactive
+
+    @property
+    def active_size(self) -> int:
+        """Entries on the protected list."""
+        return len(self._active)
+
+    @property
+    def inactive_size(self) -> int:
+        """Entries on the probation list."""
+        return len(self._inactive)
+
+    def access(self, key: Hashable) -> bool:
+        """Touch ``key``; True on hit (either list), False on miss."""
+        if key in self._active:
+            self._active.move_to_end(key)
+            self.hits += 1
+            return True
+        if key in self._inactive:
+            del self._inactive[key]
+            self._active[key] = None
+            self.promotions += 1
+            self.hits += 1
+            self._balance()
+            return True
+        self.misses += 1
+        self._inactive[key] = None
+        self._reclaim()
+        return False
+
+    def _balance(self) -> None:
+        """Demote from active while it exceeds its allowed share."""
+        max_active = int(self.capacity * self.active_ratio)
+        while len(self._active) > max(1, max_active):
+            victim, _ = self._active.popitem(last=False)
+            self._inactive[victim] = None
+            self.demotions += 1
+
+    def _reclaim(self) -> None:
+        while len(self) > self.capacity:
+            if not self._inactive:
+                victim, _ = self._active.popitem(last=False)
+                self._inactive[victim] = None
+                self.demotions += 1
+                continue
+            victim, _ = self._inactive.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop ``key`` from whichever list holds it."""
+        if key in self._active:
+            del self._active[key]
+            return True
+        if key in self._inactive:
+            del self._inactive[key]
+            return True
+        return False
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity (the cgroup memory.high knob); reclaims if shrunk."""
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._reclaim()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses so far (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,112 @@
+"""NUMA placement strategies — the data-distribution knob's second half.
+
+Section IV-B2: "We bind the CPU and memory on the same NUMA node to keep
+locality while on the different NUMA node for load balance."  Fig 12 shows
+some tasks barely notice cross-socket placement while others suffer; the
+console therefore spills only NUMA-*insensitive* applications when the
+local socket is short on memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.topology.numa import NUMADomain
+
+__all__ = ["NUMAPlacement", "NUMAPolicy"]
+
+
+class NUMAPlacement(str, enum.Enum):
+    """Where a task's memory lands relative to its CPUs."""
+
+    LOCAL_BIND = "local"        #: CPU and memory pinned to one node
+    REMOTE_SPILL = "spill"      #: overflow goes to the nearest other node
+    INTERLEAVE = "interleave"   #: round-robin across nodes (load balance)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class NUMAPolicy:
+    """Decides placement and prices its performance impact.
+
+    ``sensitivity`` in [0, 1] is the workload's share of runtime bound by
+    memory latency (Fig 12's spread: stream-like tasks near 1, compute-bound
+    inference near 0).
+    """
+
+    placement: NUMAPlacement = NUMAPlacement.LOCAL_BIND
+
+    def slowdown(
+        self,
+        domain: NUMADomain,
+        cpu_node: int,
+        sensitivity: float,
+        remote_fraction: float = 0.0,
+    ) -> float:
+        """Runtime multiplier (>= 1.0) for this placement.
+
+        ``remote_fraction`` — share of the working set on non-local nodes
+        (0 under LOCAL_BIND; ~0.5 interleaved on two sockets).
+        """
+        if not 0.0 <= sensitivity <= 1.0:
+            raise ConfigurationError(f"sensitivity must be in [0,1], got {sensitivity}")
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ConfigurationError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+        if self.placement is NUMAPlacement.LOCAL_BIND or remote_fraction == 0.0:
+            return 1.0
+        others = [n.node_id for n in domain.nodes if n.node_id != cpu_node]
+        if not others:
+            return 1.0
+        # nearest other node prices the remote share
+        penalty = min(domain.remote_penalty(cpu_node, o) for o in others)
+        return 1.0 + sensitivity * remote_fraction * (penalty - 1.0)
+
+    def place(
+        self,
+        domain: NUMADomain,
+        cpu_node: int,
+        nbytes: int,
+        sensitivity: float,
+        sensitivity_threshold: float = 0.5,
+    ) -> list[tuple[int, int]]:
+        """Allocate ``nbytes`` per this policy; returns [(node, bytes), ...].
+
+        Sensitive tasks are never spilled: if the local node is full and
+        ``sensitivity`` exceeds the threshold, :class:`CapacityError`
+        propagates so the caller swaps to far memory instead (the paper's
+        choice: "NUMA memory nodes can be selected for insensitive
+        applications").
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        local = domain.nodes[cpu_node]
+        if self.placement is NUMAPlacement.INTERLEAVE:
+            per = nbytes // len(domain)
+            slices = []
+            rem = nbytes
+            for node in domain.nodes:
+                take = per if node.node_id != len(domain) - 1 else rem
+                node.allocate(take)
+                slices.append((node.node_id, take))
+                rem -= take
+            return slices
+        if local.free >= nbytes or nbytes == 0:
+            local.allocate(nbytes)
+            return [(cpu_node, nbytes)]
+        if self.placement is NUMAPlacement.LOCAL_BIND or sensitivity > sensitivity_threshold:
+            raise CapacityError(
+                f"node {cpu_node} lacks {nbytes} bytes and task is NUMA-bound"
+            )
+        # spill the overflow to the nearest node with room
+        local_take = local.free
+        local.allocate(local_take)
+        remainder = nbytes - local_take
+        target = domain.pick_memory_node(cpu_node, remainder)
+        if target == cpu_node:  # pragma: no cover - free changed only by us
+            raise CapacityError("inconsistent NUMA free accounting")
+        domain.nodes[target].allocate(remainder)
+        return [(cpu_node, local_take), (target, remainder)]

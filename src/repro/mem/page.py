@@ -1,0 +1,62 @@
+"""Page-level vocabulary shared by the memory and swap subsystems.
+
+The swap frontend only ever sees **anonymous** pages: Linux's frontswap
+hook (and therefore xDM's swapper) intercepts anonymous-page reclaim, while
+file-backed pages are written back to their files instead (Section IV-A1:
+"the frontend skips file-backed page operations directly").  The
+anonymous/file distinction is therefore load-bearing for the switching
+strategy (Fig 8) and is carried on every trace record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.units import PAGE_SIZE
+
+__all__ = ["PAGE_SIZE", "PageKind", "PageOp", "PageDescriptor"]
+
+
+class PageKind(enum.IntEnum):
+    """What backs a virtual page."""
+
+    ANON = 0   #: anonymous (heap/stack/tmpfs) — swappable via frontswap
+    FILE = 1   #: file-backed — written back to its file, never frontswapped
+
+
+class PageOp(enum.IntEnum):
+    """The access type recorded in page traces."""
+
+    LOAD = 0
+    STORE = 1
+
+
+@dataclass
+class PageDescriptor:
+    """Mutable per-page state tracked by the event-level LRU/swap machinery."""
+
+    pfn: int
+    kind: PageKind = PageKind.ANON
+    dirty: bool = False
+    referenced: bool = False
+    #: swap slot index when swapped out, else None
+    swap_slot: int | None = None
+    #: which backend currently holds the page (backend name), else None
+    backend: str | None = None
+    #: NUMA node the page resides on while resident
+    numa_node: int = 0
+    #: access counter for hot-data estimation
+    accesses: int = field(default=0)
+
+    @property
+    def resident(self) -> bool:
+        """True while the page occupies local DRAM."""
+        return self.swap_slot is None
+
+    def touch(self, op: PageOp) -> None:
+        """Record one access (sets referenced, dirties on store)."""
+        self.referenced = True
+        self.accesses += 1
+        if op == PageOp.STORE:
+            self.dirty = True

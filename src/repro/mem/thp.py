@@ -1,0 +1,91 @@
+"""Transparent-huge-page (THP) model — the data-granularity knob.
+
+Section IV-B2: "The data granularity can be flexibly modified by ...
+amalgamating data blocks on SSD (i.e. page size). ... We selectively enable
+THP by utilizing khugepaged to tailor page size and huge page allocation.
+... the average page size can vary from 4KB to 2MB by controlling the
+amounts of to-be-allocated huge pages."
+
+The model captures the paper's stated trade-off: huge pages cut TLB misses
+(a compute-side win proportional to how contiguous the data really is) but
+swap in 2 MiB units, so a fragmented working set pays reclaim/IO
+amplification.  :func:`effective_page_size` maps a THP fraction to the
+average granularity the swap path sees; :class:`THPPolicy` decides that
+fraction from trace statistics (the console's job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import HUGE_PAGE_SIZE, PAGE_SIZE
+
+__all__ = ["effective_page_size", "THPPolicy"]
+
+
+def effective_page_size(
+    huge_fraction: float,
+    base: int = PAGE_SIZE,
+    huge: int = HUGE_PAGE_SIZE,
+) -> int:
+    """Average swap granularity when ``huge_fraction`` of memory is THP-backed.
+
+    With fraction *f* of bytes under huge pages, a uniformly chosen byte
+    lives in a huge page with probability *f*; the byte-weighted average
+    unit size is ``f*huge + (1-f)*base``.
+    """
+    if not 0.0 <= huge_fraction <= 1.0:
+        raise ConfigurationError(f"huge_fraction must be in [0,1], got {huge_fraction}")
+    if base <= 0 or huge < base:
+        raise ConfigurationError(f"need 0 < base <= huge, got base={base} huge={huge}")
+    return int(huge_fraction * huge + (1.0 - huge_fraction) * base)
+
+
+@dataclass(frozen=True)
+class THPPolicy:
+    """khugepaged's decision logic, reduced to its performance-relevant core.
+
+    Attributes
+    ----------
+    min_fragment_ratio:
+        Only enable THP when the workload's data-fragment ratio (fraction
+        of touched bytes inside contiguous segments, Fig 10) is at least
+        this high — promoting fragmented memory amplifies swap I/O.
+    tlb_benefit:
+        Compute-time reduction per fully-huge working set (~10% is typical
+        for TLB-bound scans; irregular workloads see less because the model
+        scales it by contiguity).
+    reclaim_penalty:
+        Extra reclaim cost per swapped huge page relative to the 512 base
+        pages it replaces (the paper's "extra page reclaim overhead").
+    """
+
+    min_fragment_ratio: float = 0.55
+    tlb_benefit: float = 0.10
+    reclaim_penalty: float = 0.15
+
+    def huge_fraction(self, fragment_ratio: float, seq_ratio: float) -> float:
+        """How much of the working set khugepaged should promote.
+
+        Contiguous (high fragment-ratio) and sequentially-walked memory
+        promotes aggressively; fragmented random memory stays 4 KiB.
+        """
+        if not 0.0 <= fragment_ratio <= 1.0:
+            raise ConfigurationError(f"fragment_ratio must be in [0,1], got {fragment_ratio}")
+        if not 0.0 <= seq_ratio <= 1.0:
+            raise ConfigurationError(f"seq_ratio must be in [0,1], got {seq_ratio}")
+        if fragment_ratio < self.min_fragment_ratio:
+            return 0.0
+        # scale promotion by how much of the span is actually contiguous
+        span = (fragment_ratio - self.min_fragment_ratio) / (1.0 - self.min_fragment_ratio)
+        return span * (0.5 + 0.5 * seq_ratio)
+
+    def granularity(self, fragment_ratio: float, seq_ratio: float) -> int:
+        """Average page size the swap path will see under this policy."""
+        return effective_page_size(self.huge_fraction(fragment_ratio, seq_ratio))
+
+    def compute_speedup(self, fragment_ratio: float, seq_ratio: float) -> float:
+        """Multiplier (<= 1.0) on compute time from fewer TLB misses."""
+        f = self.huge_fraction(fragment_ratio, seq_ratio)
+        return 1.0 - self.tlb_benefit * f * fragment_ratio

@@ -1,0 +1,35 @@
+"""Discrete-event simulation core.
+
+A small, dependency-free engine in the style of SimPy, tuned for the needs
+of the xDM reproduction:
+
+* :class:`~repro.simcore.engine.Simulator` — event loop with a float clock.
+* :class:`~repro.simcore.engine.Process` — generator-based coroutine
+  processes (``yield sim.timeout(dt)``, ``yield resource.request()``, …).
+* :class:`~repro.simcore.resources.Resource` — FCFS multi-server resource
+  (models I/O channels, RDMA queue pairs, CPU cores).
+* :class:`~repro.simcore.resources.Store` — FIFO message store (models the
+  swap frontend's listening queue).
+* :class:`~repro.simcore.bandwidth.FairShareLink` — fluid-flow fair-share
+  link (models a PCIe root complex shared by several far-memory backends).
+* :class:`~repro.simcore.stats.OnlineStats`/:class:`~repro.simcore.stats.Histogram`
+  — cheap online metric collectors.
+"""
+
+from repro.simcore.engine import Event, Process, Simulator, Timeout
+from repro.simcore.resources import Resource, Store
+from repro.simcore.bandwidth import FairShareLink
+from repro.simcore.stats import Histogram, OnlineStats, TimeSeries
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "Resource",
+    "Store",
+    "FairShareLink",
+    "OnlineStats",
+    "Histogram",
+    "TimeSeries",
+]

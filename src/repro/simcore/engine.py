@@ -1,0 +1,281 @@
+"""Event loop, events, and generator-based processes.
+
+The engine is deliberately minimal: a binary heap of ``(time, seq, event)``
+entries and a dispatch loop.  Processes are Python generators that yield
+:class:`Event` objects; when a yielded event fires, the process is resumed
+with the event's value (or the event's exception is thrown into it).
+
+Determinism: events scheduled at the same timestamp fire in scheduling
+order (the monotone ``seq`` counter breaks ties), so runs are bit-stable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "Simulator"]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled with a value or error), *processed* (callbacks ran).  Multiple
+    processes may wait on the same event; all are resumed at the trigger
+    time in registration order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (valid once processed/triggered)."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by raising ``exc`` in its waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when the coroutine ends.
+
+    The coroutine is a generator yielding :class:`Event` instances.  The
+    process's own event fires with the generator's return value, or fails
+    with any exception that escapes it.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = "") -> None:
+        super().__init__(sim)
+        if not isinstance(gen, Generator):
+            raise TypeError(f"Process needs a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume the generator at time-zero-of-creation.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the coroutine has not finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            target = self.gen.throw(event._exc) if event._exc is not None else self.gen.send(event._value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+            )
+        if target._processed:
+            # Already fired: resume immediately at current time.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(self._resume)
+            if target._exc is not None:
+                immediate.fail(target._exc)
+            else:
+                immediate.succeed(target._value)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} alive={self.is_alive}>"
+
+
+class Simulator:
+    """The event loop: owns the clock and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active: int = 0  # events in the heap
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._active += 1
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """An event that fires once every event in ``events`` has fired.
+
+        Fires with the list of individual values (in input order); fails
+        fast with the first failure observed.
+        """
+        gate = self.event()
+        remaining = len(events)
+        values: list[Any] = [None] * len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                nonlocal remaining
+                if gate.triggered:
+                    return
+                if ev._exc is not None:
+                    gate.fail(ev._exc)
+                    return
+                values[i] = ev._value
+                remaining -= 1
+                if remaining == 0:
+                    gate.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            if ev._processed:
+                if ev._exc is not None:
+                    if not gate.triggered:
+                        gate.fail(ev._exc)
+                else:
+                    values[i] = ev._value
+                    remaining -= 1
+            else:
+                ev.callbacks.append(make_cb(i))
+        if remaining == 0 and not gate.triggered:
+            gate.succeed(list(values))
+        return gate
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> float:
+        """Fire the next event; returns the new clock value."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self._active -= 1
+        if when < self._now:
+            raise SimulationError(f"time ran backwards: {when} < {self._now}")
+        self._now = when
+        event._run_callbacks()
+        return self._now
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the loop.
+
+        * ``until=None`` — drain all events.
+        * ``until=<float>`` — stop when the clock would pass that time.
+        * ``until=<Event>`` — stop when that event has fired; returns its
+          value (raises its exception).  Raises :class:`DeadlockError` if
+          the queue drains first.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._heap:
+                    raise DeadlockError(
+                        f"event queue drained before target event fired (t={self._now})"
+                    )
+                self.step()
+            return target.value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,168 @@
+"""FCFS resources and FIFO stores for the event engine.
+
+:class:`Resource` models a pool of identical servers (disk I/O channels,
+RDMA queue pairs, CPU cores): requests queue first-come-first-served and
+each grant occupies one server until released.
+
+:class:`Store` models an unbounded (or bounded) FIFO of messages — used for
+the swap frontend's listening queue that synchronizes the page cache with
+far-memory backends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Event, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A multi-server FCFS resource.
+
+    Usage inside a process::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        # metrics
+        self.total_grants = 0
+        self.total_wait = 0.0
+        self._enqueue_times: dict[int, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._queue)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay over all grants so far."""
+        return self.total_wait / self.total_grants if self.total_grants else 0.0
+
+    def request(self) -> Event:
+        """Ask for one server; the returned event fires when granted.
+
+        The event's value is an opaque grant token to pass to
+        :meth:`release`.
+        """
+        ev = Event(self.sim)
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            self.total_grants += 1
+            ev.succeed(ev)
+        else:
+            self._enqueue_times[id(ev)] = self.sim.now
+            self._queue.append(ev)
+        return ev
+
+    def release(self, grant: Event) -> None:
+        """Return the server obtained via ``grant`` to the pool."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._in_use += 1
+            self.total_grants += 1
+            self.total_wait += self.sim.now - self._enqueue_times.pop(id(nxt))
+            nxt.succeed(nxt)
+
+    def resize(self, capacity: int) -> None:
+        """Change the number of servers (the I/O-width tuning knob).
+
+        Growing wakes queued requests immediately; shrinking lets current
+        holders drain naturally (no preemption), matching how changing an
+        SSD's I/O thread count behaves.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while self._queue and self._in_use < self.capacity:
+            nxt = self._queue.popleft()
+            self._in_use += 1
+            self.total_grants += 1
+            self.total_wait += self.sim.now - self._enqueue_times.pop(id(nxt))
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Resource {self.name or id(self):} cap={self.capacity} "
+            f"busy={self._in_use} queued={len(self._queue)}>"
+        )
+
+
+class Store:
+    """A FIFO store of items with blocking ``get`` and optional capacity."""
+
+    def __init__(self, sim: Simulator, capacity: int | None = None, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; fires immediately unless the store is full."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand straight to a waiting getter, bypassing the buffer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_puts += 1
+            self.total_gets += 1
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.total_puts += 1
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self.total_gets += 1
+            ev.succeed(item)
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                self.total_puts += 1
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Store {self.name or id(self)} len={len(self._items)}>"

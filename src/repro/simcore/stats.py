@@ -1,0 +1,195 @@
+"""Online metric collectors used throughout the simulator.
+
+All collectors are O(1) per observation and allocation-free in steady
+state, so instrumenting hot paths (per-swap-op latency, per-fault service
+time) does not distort benchmark timings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["OnlineStats", "Histogram", "TimeSeries"]
+
+
+class OnlineStats:
+    """Welford online mean/variance plus min/max and total."""
+
+    __slots__ = ("n", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Record one observation."""
+        self.n += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Fold ``other`` into ``self`` (parallel-combine of Welford states)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean = (self._mean * self.n + other._mean * other.n) / n
+        self.n = n
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with < 2 observations)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OnlineStats n={self.n} mean={self.mean:.4g} std={self.std:.4g}>"
+
+
+class Histogram:
+    """Fixed-bin histogram with logarithmic or linear bins.
+
+    Log bins suit latency distributions spanning nanoseconds to seconds
+    (Fig 17's per-swap-op latency is such a distribution).
+    """
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        bins: int = 64,
+        log: bool = True,
+    ) -> None:
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        if log and lo <= 0:
+            raise ValueError("log bins require lo > 0")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.log = log
+        self.counts = np.zeros(bins + 2, dtype=np.int64)  # [under, bins..., over]
+        if log:
+            self.edges = np.logspace(math.log10(lo), math.log10(hi), bins + 1)
+        else:
+            self.edges = np.linspace(lo, hi, bins + 1)
+        self.stats = OnlineStats()
+
+    def add(self, x: float) -> None:
+        """Record one observation (under/overflow tracked separately)."""
+        self.stats.add(x)
+        if x < self.lo:
+            self.counts[0] += 1
+        elif x >= self.hi:
+            self.counts[-1] += 1
+        else:
+            idx = int(np.searchsorted(self.edges, x, side="right")) - 1
+            self.counts[1 + idx] += 1
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Vectorized bulk insert."""
+        xs = np.asarray(xs, dtype=np.float64)
+        for x in xs.ravel():  # stats stay exact; histogram below is vectorized
+            self.stats.add(float(x))
+        inner = xs[(xs >= self.lo) & (xs < self.hi)]
+        idx = np.searchsorted(self.edges, inner, side="right") - 1
+        np.add.at(self.counts, 1 + idx, 1)
+        self.counts[0] += int((xs < self.lo).sum())
+        self.counts[-1] += int((xs >= self.hi).sum())
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from bin midpoints."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        total = int(self.counts.sum())
+        if total == 0:
+            return 0.0
+        target = total * q / 100.0
+        cum = 0
+        # underflow bucket maps to lo, overflow to hi
+        if self.counts[0] >= target:
+            return self.lo
+        cum = int(self.counts[0])
+        for i in range(len(self.edges) - 1):
+            cum += int(self.counts[1 + i])
+            if cum >= target:
+                return float(0.5 * (self.edges[i] + self.edges[i + 1]))
+        return self.hi
+
+    def __len__(self) -> int:
+        return int(self.counts.sum())
+
+
+class TimeSeries:
+    """Append-only (t, value) series with numpy export; for utilization plots."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append one sample; time must be non-decreasing."""
+        if self._t and t < self._t[-1]:
+            raise ValueError(f"time must be non-decreasing: {t} < {self._t[-1]}")
+        self._t.append(t)
+        self._v.append(value)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) as float64 arrays."""
+        return np.asarray(self._t, dtype=np.float64), np.asarray(self._v, dtype=np.float64)
+
+    def integral(self) -> float:
+        """Trapezoidal integral of value over time."""
+        if len(self._t) < 2:
+            return 0.0
+        t, v = self.arrays()
+        return float(np.trapezoid(v, t))
+
+    def time_mean(self) -> float:
+        """Time-weighted mean value."""
+        if len(self._t) < 2:
+            return self._v[0] if self._v else 0.0
+        span = self._t[-1] - self._t[0]
+        return self.integral() / span if span > 0 else self._v[-1]
+
+    def __len__(self) -> int:
+        return len(self._t)

@@ -1,0 +1,50 @@
+"""Swap subsystem: the machinery between page reclaim and far memory.
+
+Event-level pieces (used where contention/interleaving matters):
+
+* :class:`~repro.swap.slots.SwapSlotAllocator` — swap-map slot management;
+* :class:`~repro.swap.backend.SwapBackendModule` — a pre-assembled backend
+  "patch" binding a far-memory device to swap read/write functions;
+* :class:`~repro.swap.frontend.SwapFrontend` — the frontswap-style frontend
+  xDM modifies: dispatches anonymous-page store/load to the active backend,
+  skips file-backed pages, and supports live backend switching;
+* :class:`~repro.swap.channel.ChannelMode` — shared vs isolated vs
+  VM-isolated swap channels (Fig 17's three contenders).
+
+Analytic pieces (used for parameter sweeps and the big tables):
+
+* :class:`~repro.swap.pathmodel.SwapConfig` / :class:`~repro.swap.pathmodel.SwapPathModel`
+  — closed-form swap cost for one (workload, device, configuration), the
+  quantitative heart of the reproduction;
+* :class:`~repro.swap.pathmodel.MultiPathModel` — traffic split across
+  several simultaneous far-memory paths (the multi-backend case).
+"""
+
+from repro.swap.slots import SwapSlotAllocator
+from repro.swap.backend import SwapBackendModule, build_backend_module
+from repro.swap.channel import ChannelMode, SwapChannel
+from repro.swap.frontend import SwapFrontend
+from repro.swap.executor import SwapExecutionResult, SwapExecutor
+from repro.swap.pathmodel import (
+    PathType,
+    SwapConfig,
+    SwapCost,
+    SwapPathModel,
+    MultiPathModel,
+)
+
+__all__ = [
+    "SwapSlotAllocator",
+    "SwapBackendModule",
+    "build_backend_module",
+    "ChannelMode",
+    "SwapChannel",
+    "SwapFrontend",
+    "SwapExecutor",
+    "SwapExecutionResult",
+    "PathType",
+    "SwapConfig",
+    "SwapCost",
+    "SwapPathModel",
+    "MultiPathModel",
+]

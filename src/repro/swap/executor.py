@@ -1,0 +1,172 @@
+"""Event-level end-to-end swap execution.
+
+The analytic :class:`~repro.swap.pathmodel.SwapPathModel` prices a whole
+run in closed form; this module *executes* one, page by page, through the
+real machinery: the two-generation LRU, the cgroup ``memory.high``
+limiter, the switchable frontend, backend modules, devices, and PCIe.  It
+exists for three reasons:
+
+* **fidelity checks** — integration tests replay small traces through
+  both layers: cold-allocation counts must match the MRC exactly, fault
+  counts must track it closely (the kernel-style two-generation LRU
+  slightly beats the MRC's exact LRU on skewed traces), and time
+  estimates must agree in ordering;
+* **contention studies** — effects the closed form only approximates
+  (queueing between co-located tenants on one device, PCIe interleaving)
+  emerge naturally here;
+* **online control** — the epoch hooks feed
+  :class:`repro.core.online.OnlineController` with measured-behaviour
+  windows, the runtime counterpart of the paper's offline profiling.
+
+Cost model at this layer: each *blocking* fault pays the kernel fault cost
+plus the backend's DES store/load (device channels, media pipe, PCIe slot,
+root complex all contended); prefetched pages ride along batched.  For
+tractability the executor walks traces of up to a few hundred thousand
+accesses; use the analytic layer for sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.base import FarMemoryDevice
+from repro.devices.registry import BackendKind
+from repro.errors import ConfigurationError
+from repro.mem.lru import ActiveInactiveLRU
+from repro.mem.page import PageKind, PageOp
+from repro.simcore import OnlineStats, Simulator
+from repro.swap.backend import build_backend_module
+from repro.swap.frontend import SwapFrontend
+from repro.swap.pathmodel import FAULT_COST, SwapConfig
+from repro.trace.schema import PageTrace
+
+__all__ = ["SwapExecutionResult", "SwapExecutor"]
+
+
+@dataclass
+class SwapExecutionResult:
+    """Counters and timings from one executed trace."""
+
+    accesses: int = 0
+    hits: int = 0
+    faults: int = 0            #: misses on swapped-out pages (capacity)
+    cold_allocations: int = 0  #: first touches (no far-memory traffic)
+    swap_ins: int = 0
+    swap_outs: int = 0
+    clean_drops: int = 0   #: clean victims dropped without writeback
+    file_skips: int = 0
+    sim_time: float = 0.0      #: simulated seconds spent swapping
+    fault_latency: OnlineStats = field(default_factory=OnlineStats)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Capacity misses per access."""
+        return self.faults / self.accesses if self.accesses else 0.0
+
+
+class SwapExecutor:
+    """Replays a page trace through the event-level swap stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: FarMemoryDevice,
+        kind: BackendKind,
+        local_pages: int,
+        config: SwapConfig | None = None,
+        seq_ratio: float = 0.0,
+    ) -> None:
+        if local_pages < 2:
+            raise ConfigurationError(f"local_pages must be >= 2, got {local_pages}")
+        if not 0.0 <= seq_ratio <= 1.0:
+            raise ConfigurationError(f"seq_ratio must be in [0,1], got {seq_ratio}")
+        self.sim = sim
+        self.config = config or SwapConfig()
+        self.seq_ratio = seq_ratio
+        self.frontend = SwapFrontend(sim, name="exec:fe")
+        module = build_backend_module(sim, kind, device)
+        module.name = str(kind)
+        self.frontend.register(module)
+        sim.run(until=self.frontend.switch_to(str(kind)))
+        # victims evicted by the LRU are queued for swap-out
+        self._evicted: list[int] = []
+        self.lru = ActiveInactiveLRU(
+            capacity=local_pages, on_evict=self._evicted.append
+        )
+        self._touched: set[int] = set()
+        # dirty-bit tracking: clean victims whose far copy is retained in
+        # the swap cache need no rewrite — Linux's add_to_swap fast path
+        self._dirty: set[int] = set()
+        self.result = SwapExecutionResult()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, trace: PageTrace) -> SwapExecutionResult:
+        """Execute the whole trace; returns the accumulated counters."""
+        done = self.sim.process(self._run_proc(trace), name="exec:run")
+        self.sim.run(until=done)
+        return self.result
+
+    def _run_proc(self, trace: PageTrace):
+        res = self.result
+        start = self.sim.now
+        pages = trace.pages.tolist()
+        kinds = trace.kinds.tolist()
+        ops = trace.ops.tolist()
+        anon = int(PageKind.ANON)
+        store_op = int(PageOp.STORE)
+        for page, kind, op in zip(pages, kinds, ops):
+            res.accesses += 1
+            if kind != anon:
+                res.file_skips += 1
+                continue
+            if self.lru.access(page):
+                res.hits += 1
+                dirtied_now = op == store_op
+            elif page not in self._touched:
+                self._touched.add(page)
+                dirtied_now = True  # first touch populates the page
+                res.cold_allocations += 1  # zero-fill, no device traffic
+            else:
+                res.faults += 1
+                t0 = self.sim.now
+                yield self.sim.timeout(FAULT_COST)
+                # one device op fetches the granule covering this page; the
+                # far copy is retained (swap cache) so a clean re-reclaim
+                # later needs no rewrite
+                yield self.frontend.load_page(
+                    page, granularity=self.config.granularity, keep_copy=True
+                )
+                res.swap_ins += 1
+                res.fault_latency.add(self.sim.now - t0)
+                dirtied_now = op == store_op
+            if dirtied_now:
+                self._dirty.add(page)
+                if self.frontend.swapped_out(page):
+                    # resident page diverged from its far copy
+                    self.frontend.invalidate_page(page)
+            # drain reclaim victims produced by this access
+            while self._evicted:
+                victim = self._evicted.pop()
+                if self.frontend.swapped_out(victim):
+                    # clean victim with a valid swap-cache copy: free the
+                    # local frame, no writeback
+                    res.clean_drops += 1
+                    continue
+                yield self.frontend.store_page(
+                    victim, granularity=self.config.granularity
+                )
+                res.swap_outs += 1
+                self._dirty.discard(victim)
+        res.sim_time = self.sim.now - start
+        return res
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently in the local LRU."""
+        return len(self.lru)
+
+    @property
+    def far_pages(self) -> int:
+        """Pages currently on the backend."""
+        return self.frontend.resident_far_pages

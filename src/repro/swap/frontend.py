@@ -1,0 +1,162 @@
+"""The switchable swap frontend (Fig 7's modified frontswap).
+
+The frontend sits between page reclaim and the backend modules:
+
+* **store path** (data offloading, (1)-(2) in Fig 7): reclaim hands over
+  anonymous pages drawn from the LRU lists; the frontend forwards each to
+  the *active* backend's write function.  File-backed pages are skipped
+  outright ("the frontend skips file-backed page operations directly").
+* **load path** (data fetching, (5)): a page fault on a swapped page calls
+  back into the owning backend — pages swapped out before a switch remain
+  readable from their old backend until faulted back (lazy migration).
+* **switching** ((3)-(4), ``switch_to_SSD`` / ``switch_to_RDMA``): new
+  stores go to the new backend immediately; the old module stays up while
+  it still holds pages.
+* a **listening queue** synchronizes page-cache entries with backends —
+  store completions are posted there and consumed by the writeback
+  bookkeeping process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendUnavailableError, SwitchInProgressError
+from repro.mem.page import PageKind
+from repro.simcore import Simulator, Store
+from repro.swap.backend import SwapBackendModule
+from repro.units import PAGE_SIZE
+
+__all__ = ["SwapFrontend"]
+
+
+class SwapFrontend:
+    """Per-VM swap frontend with pluggable, switchable backends."""
+
+    def __init__(self, sim: Simulator, name: str = "frontend") -> None:
+        self.sim = sim
+        self.name = name
+        self._modules: dict[str, SwapBackendModule] = {}
+        self._active: str | None = None
+        self._switching = False
+        #: page -> backend-name that holds it
+        self._owner: dict[int, str] = {}
+        self.listening_queue: Store = Store(sim, name=f"{name}:lq")
+        self.stores = 0
+        self.loads = 0
+        self.skipped_file_backed = 0
+        self.switches = 0
+
+    # -- module management --------------------------------------------------
+    def register(self, module: SwapBackendModule) -> None:
+        """Install a pre-assembled backend module (inactive until switched to)."""
+        if module.name in self._modules:
+            raise BackendUnavailableError(f"module {module.name} already registered")
+        self._modules[module.name] = module
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """Registered backend module names."""
+        return tuple(self._modules)
+
+    @property
+    def active_backend(self) -> str | None:
+        """Name of the module new stores go to."""
+        return self._active
+
+    def module(self, name: str) -> SwapBackendModule:
+        """Look up a registered module."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise BackendUnavailableError(f"unknown backend {name!r}") from None
+
+    def switch_to(self, name: str):
+        """DES process: make ``name`` the active backend.
+
+        Costs = stop of nothing (the old module keeps serving its resident
+        pages) + start of the new module if it is not already up.  Mirrors
+        the paper's warm-start: pre-assembled modules make this seconds,
+        not a host reboot.
+        """
+        target = self.module(name)
+        if self._switching:
+            raise SwitchInProgressError(f"{self.name}: switch already in progress")
+        self._switching = True
+
+        def proc():
+            try:
+                if not target.active:
+                    yield target.start()
+                self._active = name
+                self.switches += 1
+            finally:
+                self._switching = False
+            return name
+
+        return self.sim.process(proc(), name=f"{self.name}:switch:{name}")
+
+    # -- data path ------------------------------------------------------------
+    def store_page(self, page: int, kind: PageKind = PageKind.ANON,
+                   granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """DES process: offload one reclaimed page.
+
+        Returns a process whose value is True if the page was taken by a
+        backend, False if it was skipped (file-backed).
+        """
+        def proc():
+            if kind != PageKind.ANON:
+                self.skipped_file_backed += 1
+                return False
+            if self._active is None:
+                raise BackendUnavailableError(f"{self.name}: no active backend")
+            module = self._modules[self._active]
+            yield module.store(page, granularity=granularity, weight=weight)
+            self._owner[page] = self._active
+            self.stores += 1
+            yield self.listening_queue.put(("stored", page, self._active))
+            return True
+
+        return self.sim.process(proc(), name=f"{self.name}:store")
+
+    def load_page(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
+                  keep_copy: bool = False):
+        """DES process: fault one page back in from whichever backend holds it.
+
+        ``keep_copy=True`` leaves the far copy (and its slot) in place —
+        swap-cache semantics, so a clean reclaim later needs no rewrite;
+        the page then still answers True to :meth:`swapped_out`.
+        """
+        def proc():
+            owner = self._owner.get(page)
+            if owner is None:
+                raise BackendUnavailableError(f"{self.name}: page {page} not swapped out")
+            if not keep_copy:
+                del self._owner[page]
+            module = self._modules[owner]
+            yield module.load(page, granularity=granularity, weight=weight, keep=keep_copy)
+            self.loads += 1
+            yield self.listening_queue.put(("loaded", page, owner))
+            return page
+
+        return self.sim.process(proc(), name=f"{self.name}:load")
+
+    def invalidate_page(self, page: int) -> None:
+        """Drop a retained far copy (the resident page was dirtied)."""
+        owner = self._owner.pop(page, None)
+        if owner is None:
+            raise BackendUnavailableError(f"{self.name}: page {page} has no far copy")
+        self._modules[owner].invalidate(page)
+
+    def swapped_out(self, page: int) -> bool:
+        """Whether ``page`` currently lives on some backend."""
+        return page in self._owner
+
+    @property
+    def resident_far_pages(self) -> int:
+        """Pages currently in far memory across all modules."""
+        return len(self._owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SwapFrontend {self.name} active={self._active} "
+            f"backends={list(self._modules)} far={len(self._owner)}>"
+        )

@@ -1,0 +1,395 @@
+"""Closed-form swap-cost model for one (workload, device, configuration).
+
+This converts the exact fault counts from a workload's miss-ratio curve
+into kernel time, stall time, and bytes moved, under a given far-memory
+path configuration.  Every experiment in the paper reduces to comparisons
+of these quantities across configurations:
+
+* Table VI  — sys-time ratio of xDM's tuned config vs a baseline config;
+* Fig 14    — (bytes in+out) / runtime, with multi-path splitting;
+* Fig 15/16 — smallest local size whose runtime meets an SLO;
+* Fig 17    — per-op latency under channel contention.
+
+Model structure (terms annotated with the paper mechanism they price):
+
+``misses`` come from the MRC at the configured local size, inflated by
+shared-channel LRU interference.  With transfer granularity *G* pages and
+sequential ratio *s*, one far-memory op usefully batches
+``cluster(G) = 1 + s*(G-1)`` of those misses (contiguous, soon-needed
+neighbours) — so ops shrink with granularity on sequential workloads but
+bytes *amplify* by ``G/cluster(G)`` on random ones.  Prefetch/readahead of
+*R* pages hides the same cluster structure from the critical path:
+``blocking = misses / cluster(max(R, G))``.  Ops are served by
+``W = min(io_width, fault_parallelism, device channels)`` parallel
+streams, floored by media and PCIe-slot bandwidth (the device model's
+binding-constraint form).  Dirty evictions add a writeback stream that
+overlaps reads (weight 0.5 on kernel time).  Hierarchical paths double the
+data movement (two swap hops) and add a host-copy per op; VM-isolated
+channels add a small per-op tax; shared channels queue behind co-tenants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError
+from repro.swap.channel import ChannelMode, SHARED_LRU_INTERFERENCE, VM_ISOLATION_TAX
+from repro.trace.fusion import PageFeatures
+from repro.units import PAGE_SIZE, usec
+
+__all__ = ["PathType", "SwapConfig", "SwapCost", "SwapPathModel", "MultiPathModel"]
+
+#: Kernel work per *major* fault (handler entry, swap-cache, PTE rewire).
+FAULT_COST = usec(1.8)
+#: Kernel work per miss that was already prefetched (minor-fault fixup).
+MINOR_FAULT_COST = usec(0.15)
+#: Host-side extra copy per op on a hierarchical (VM->host->FM) path.
+HIERARCHY_COPY_COST = usec(2.0)
+#: Poll-vs-sleep policy: a handler busy-waits (charging the wait to sys
+#: time) only when the device answers faster than a context switch is
+#: worth; beyond this it sleeps and pays reschedule cost instead.
+POLL_THRESHOLD = usec(12.0)
+CONTEXT_SWITCH_COST = usec(4.0)
+#: Queueing inflation per co-tenant on a shared channel (M/M/1-ish knee).
+SHARED_QUEUE_FACTOR = 0.85
+
+
+class PathType(str, enum.Enum):
+    """Swap path topology."""
+
+    FLAT = "flat"                  #: guest-direct, host-bypass (xDM)
+    HIERARCHICAL = "hierarchical"  #: VM swap -> host swap -> FM (XMemPod-style)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SwapConfig:
+    """One far-memory path configuration (the console's decision vector)."""
+
+    #: bytes per far-memory operation (RDMA chunk / SSD block / THP page)
+    granularity: int = PAGE_SIZE
+    #: channels/queues allocated to this path
+    io_width: int = 1
+    #: prefetch window in pages (kernel readahead / Fastswap prefetcher)
+    readahead_pages: int = 8
+    #: readahead deepens on detected sequential streams (Linux's window
+    #: scaling / Fastswap's stride prefetcher) up to this many pages
+    max_readahead_pages: int = 64
+    #: block-layer bio merging: adjacent in-flight requests coalesce into
+    #: ops of up to this many pages on sequential streams (elevator
+    #: behaviour baselines get for free; xDM controls granularity
+    #: explicitly and leaves this at 1)
+    merge_pages: int = 1
+    path: PathType = PathType.FLAT
+    channel: ChannelMode = ChannelMode.ISOLATED
+    #: co-located tasks on the same channel (SHARED mode only)
+    co_tenants: int = 0
+    #: True when the fault handler busy-waits on the device (Fastswap polls
+    #: RDMA completions in-handler; Linux swap blocks in submit_bio).  xDM's
+    #: event-driven queues complete asynchronously, so it sets False.
+    synchronous_faults: bool = True
+
+    def __post_init__(self) -> None:
+        if self.granularity < PAGE_SIZE:
+            raise ConfigurationError(f"granularity must be >= {PAGE_SIZE}, got {self.granularity}")
+        if self.io_width < 1:
+            raise ConfigurationError(f"io_width must be >= 1, got {self.io_width}")
+        if self.readahead_pages < 1:
+            raise ConfigurationError(f"readahead_pages must be >= 1, got {self.readahead_pages}")
+        if self.max_readahead_pages < self.readahead_pages:
+            raise ConfigurationError(
+                f"max_readahead_pages ({self.max_readahead_pages}) must be >= "
+                f"readahead_pages ({self.readahead_pages})"
+            )
+        if self.co_tenants < 0:
+            raise ConfigurationError(f"co_tenants must be >= 0, got {self.co_tenants}")
+        if self.merge_pages < 1:
+            raise ConfigurationError(f"merge_pages must be >= 1, got {self.merge_pages}")
+
+
+@dataclass(frozen=True)
+class SwapCost:
+    """Everything the experiments read off one configuration evaluation."""
+
+    misses: int          #: page faults on swapped-out pages (after interference)
+    blocking_faults: float  #: faults that actually stall the application
+    ops_in: float        #: far-memory read operations
+    ops_out: float       #: far-memory write (swap-out) operations
+    bytes_in: float      #: bytes fetched (including granularity amplification)
+    bytes_out: float     #: bytes written back
+    sys_time: float      #: kernel-side swap time — Table VI's metric
+    stall_time: float    #: critical-path stall added to the application
+    per_op_latency: float  #: mean device latency of one swap op (Fig 17)
+    t_in: float = 0.0    #: read-stream service time component
+    t_out: float = 0.0   #: writeback-stream service time component
+    fault_time: float = 0.0  #: kernel fault-handling time component
+
+    @property
+    def bytes_total(self) -> float:
+        """Total swap traffic."""
+        return self.bytes_in + self.bytes_out
+
+    def runtime(self, compute_time: float) -> float:
+        """End-to-end runtime given the workload's pure-compute time."""
+        return compute_time + self.stall_time
+
+    def throughput(self, compute_time: float) -> float:
+        """Swapped bytes per second of runtime (Fig 14's metric)."""
+        rt = self.runtime(compute_time)
+        return self.bytes_total / rt if rt > 0 else 0.0
+
+
+def _cluster(pages: float, seq_ratio: float) -> float:
+    """Useful co-batched misses per op/window of ``pages`` pages."""
+    return 1.0 + seq_ratio * (pages - 1.0)
+
+
+class SwapPathModel:
+    """Analytic swap cost for one workload on one device."""
+
+    def __init__(
+        self,
+        device: FarMemoryDevice,
+        features: PageFeatures,
+        fault_parallelism: float = 1.0,
+    ) -> None:
+        if fault_parallelism < 1.0:
+            raise ConfigurationError(f"fault_parallelism must be >= 1, got {fault_parallelism}")
+        self.device = device
+        self.features = features
+        self.fault_parallelism = fault_parallelism
+
+    # -- helpers -----------------------------------------------------------
+    def _granularity_cluster(self, config: SwapConfig) -> float:
+        """Misses served per far-memory op at this granularity.
+
+        Sequential neighbours batch perfectly; beyond that, the *fragment*
+        structure allows partial batching (contiguous-but-not-in-order data
+        still arrives usefully when the reuse window is short).
+        """
+        g_pages = config.granularity / PAGE_SIZE
+        f = self.features
+        # order-driven batching (true sequential runs) ...
+        seq_part = _cluster(g_pages, f.seq_access_ratio)
+        # ... plus weak spatial batching on contiguous-but-reordered data
+        spatial = 1.0 + 0.15 * f.fragment_ratio * (1.0 - f.seq_access_ratio) * (g_pages - 1.0) ** 0.5
+        return min(g_pages, max(seq_part, spatial))
+
+    def effective_width(self, config: SwapConfig) -> float:
+        """Parallel service streams this workload/config can really use."""
+        return float(min(config.io_width, self.fault_parallelism, self.device.profile.channels))
+
+    # -- main entry ----------------------------------------------------------
+    def cost(self, local_pages: int, config: SwapConfig) -> SwapCost:
+        """Evaluate the configuration at ``local_pages`` of residency."""
+        f = self.features
+        # capacity misses only: a never-touched anonymous page is allocated
+        # (zero-filled) on first touch, not fetched from far memory
+        base_misses = f.mrc.capacity_misses(local_pages)
+        # shared-channel LRU interference inflates faults
+        interference = 1.0
+        if config.channel is ChannelMode.SHARED:
+            interference += SHARED_LRU_INTERFERENCE * config.co_tenants
+        misses = int(round(base_misses * interference))
+        if misses == 0:
+            idle = self.device.page_latency(granularity=config.granularity)
+            return SwapCost(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, idle)
+
+        # Window prefetchers and bio merging track ONE stream at a time:
+        # when several sequential streams interleave (inference walking
+        # weights + activations + KV cache at once), every stream switch
+        # resets them. Granularity-based batching is immune — a granule
+        # covers an address range, not an access order.
+        # (kernels keep a few readahead contexts, so the kill is partial)
+        seq_pf = f.seq_access_ratio * (1.0 - 0.8 * f.interleave_ratio)
+        # block-layer merging lifts the *effective* granularity of adjacent
+        # sequential requests (baselines); explicit tuning dominates it
+        merged_pages = 1.0 + seq_pf * (config.merge_pages - 1)
+        g = max(config.granularity, int(merged_pages * PAGE_SIZE))
+        g_pages = g / PAGE_SIZE
+        cluster = self._granularity_cluster(replace(config, granularity=g, merge_pages=1))
+        ops_in = misses / cluster
+        bytes_in = ops_in * g
+        # steady state: each fault evicts one page; dirty ones are written
+        # back, batched at the same granularity cluster
+        dirty_ratio = 1.0 - f.load_ratio
+        ops_out = misses * dirty_ratio / cluster
+        bytes_out = ops_out * g
+
+        # major faults: the prefetch window (readahead — deepened on
+        # *single-stream* sequential access — or, with THP-sized granules,
+        # the whole granule mapped by one fault) absorbs the rest into
+        # minor faults
+        window = config.readahead_pages + seq_pf * (
+            config.max_readahead_pages - config.readahead_pages
+        )
+        window = max(window, g_pages)
+        major = misses / max(_cluster(window, seq_pf), _cluster(g_pages, f.seq_access_ratio))
+        # pages arriving inside a major fault's granule are *mapped* by that
+        # fault (THP: one 2 MiB fault covers 512 PTEs) and never fault at
+        # all; only readahead-prefetched pages outside the granule pay the
+        # minor-fault fixup
+        mapped = major * _cluster(g_pages, f.seq_access_ratio)
+        minor = max(0.0, misses - mapped)
+
+        # channel-mode and path taxes on per-op costs
+        tax = 1.0
+        if config.channel is ChannelMode.VM_ISOLATED:
+            tax += VM_ISOLATION_TAX
+        if config.channel is ChannelMode.SHARED and config.co_tenants > 0:
+            tax += SHARED_QUEUE_FACTOR * config.co_tenants  # queueing behind tenants
+        hop = 1.0
+        extra_per_op = 0.0
+        if config.path is PathType.HIERARCHICAL:
+            hop = 2.0  # two swap hops move the data twice
+            extra_per_op = HIERARCHY_COPY_COST
+        # response time a blocked fault waits for (full latency) ...
+        lat_in = self.device.transfer_latency(g, write=False, granularity=g, io_width=1)
+        lat_in = lat_in * tax * hop + extra_per_op
+        # ... vs channel hold time of pipelined ops (occupancy)
+        occ_in = self.device.op_occupancy(write=False, granularity=g) * tax * hop + extra_per_op
+        occ_out = self.device.op_occupancy(write=True, granularity=g) * tax * hop + extra_per_op
+
+        width = self.effective_width(config)
+
+        # binding constraint: parallel op streams vs media vs PCIe slot
+        def stream_time(ops: float, occ: float, nbytes: float, write: bool) -> float:
+            if ops <= 0:
+                return 0.0
+            t = ops * occ / min(width, ops)
+            t = max(t, nbytes * hop / self.device.effective_bandwidth(write, config.io_width))
+            if self.device.link is not None:
+                t = max(t, nbytes * hop / self.device.link.bandwidth)
+            return t
+
+        t_in = stream_time(ops_in, occ_in, bytes_in, write=False)
+        t_out = stream_time(ops_out, occ_out, bytes_out, write=True)
+
+        # kernel time per fault: baselines wait synchronously inside the
+        # handler (the wait is attributed to sys time); async designs only
+        # pay the handler proper
+        wait_charge = lat_in if lat_in <= POLL_THRESHOLD else CONTEXT_SWITCH_COST
+        if not config.synchronous_faults:
+            # event-driven completion: one handler drains a whole batch of
+            # completions, so the per-fault wait charge amortizes across
+            # the outstanding window
+            wait_charge /= self.effective_width(config)
+        fault_time = major * (FAULT_COST + wait_charge) + minor * MINOR_FAULT_COST
+
+        # sys time (Table VI): fault handling plus the I/O service streams
+        # (writeback overlaps reads -> half weight)
+        sys_time = fault_time + t_in + 0.5 * t_out
+        # stall: latency-bound regime (each major fault blocks its thread;
+        # the app's faulting threads overlap their waits, so wall-clock
+        # stall divides by the effective width) vs bandwidth-bound regime
+        # (data cannot arrive faster than the pipes)
+        stall_time = max(
+            (major * (FAULT_COST + lat_in) + minor * MINOR_FAULT_COST) / width,
+            t_in + 0.5 * t_out,
+        )
+
+        return SwapCost(
+            misses=misses,
+            blocking_faults=major,
+            ops_in=ops_in,
+            ops_out=ops_out,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            sys_time=sys_time,
+            stall_time=stall_time,
+            per_op_latency=lat_in,
+            t_in=t_in,
+            t_out=t_out,
+            fault_time=fault_time,
+        )
+
+    def local_pages_for(self, fm_ratio: float) -> int:
+        """Resident pages when ``fm_ratio`` of the anon footprint is offloaded."""
+        if not 0.0 <= fm_ratio <= 0.9:
+            raise ConfigurationError(f"fm_ratio must be in [0, 0.9], got {fm_ratio}")
+        return max(1, int(self.features.mrc.n_pages * (1.0 - fm_ratio)))
+
+
+class MultiPathModel:
+    """Traffic split across several simultaneous far-memory paths.
+
+    Misses are partitioned across paths proportionally to each path's
+    deliverable bandwidth (xDM's scale-out case); paths run in parallel, so
+    transfer time is the slowest share, while kernel fault cost is paid
+    once.  A shared PCIe switch, when present on the devices, caps the
+    aggregate (Table VII's saturation check is built on this).
+    """
+
+    def __init__(self, paths: list[tuple[SwapPathModel, SwapConfig]]) -> None:
+        if not paths:
+            raise ConfigurationError("MultiPathModel needs at least one path")
+        self.paths = paths
+
+    def shares(self) -> list[float]:
+        """Traffic share per path, proportional to deliverable bandwidth."""
+        bws = [
+            m.device.effective_bandwidth(False, c.io_width) for m, c in self.paths
+        ]
+        total = sum(bws)
+        return [b / total for b in bws]
+
+    def cost(self, local_pages: int) -> SwapCost:
+        """Aggregate cost with misses split by bandwidth shares.
+
+        Each path is evaluated on its share of the miss stream (transfer
+        terms scale linearly in the high-miss regime); paths run in
+        parallel, so the aggregate transfer time is the slowest share
+        while fault-handling kernel time sums.
+        """
+        parts: list[SwapCost] = []
+        for (model, config), share in zip(self.paths, self.shares()):
+            full = model.cost(local_pages, config)
+            parts.append(
+                SwapCost(
+                    misses=int(round(full.misses * share)),
+                    blocking_faults=full.blocking_faults * share,
+                    ops_in=full.ops_in * share,
+                    ops_out=full.ops_out * share,
+                    bytes_in=full.bytes_in * share,
+                    bytes_out=full.bytes_out * share,
+                    sys_time=full.sys_time * share,
+                    stall_time=full.stall_time * share,
+                    per_op_latency=full.per_op_latency,
+                    t_in=full.t_in * share,
+                    t_out=full.t_out * share,
+                    fault_time=full.fault_time * share,
+                )
+            )
+        t_in = max(p.t_in for p in parts)
+        t_out = max(p.t_out for p in parts)
+        # the shared PCIe root complex caps the aggregate of simultaneous
+        # paths (Table VII's oversubscription point)
+        switches = {id(m.device.switch): m.device.switch
+                    for m, _ in self.paths if m.device.switch is not None}
+        if len(switches) == 1:
+            (switch,) = switches.values()
+            t_in = max(t_in, sum(p.bytes_in for p in parts) / switch.bandwidth)
+            t_out = max(t_out, sum(p.bytes_out for p in parts) / switch.bandwidth)
+        fault_time = sum(p.fault_time for p in parts)
+        misses = sum(p.misses for p in parts)
+        blocking = sum(p.blocking_faults for p in parts)
+        sys_time = fault_time + t_in + 0.5 * t_out
+        stall = max(sum(p.stall_time for p in parts), t_in + 0.5 * t_out)
+        return SwapCost(
+            misses=misses,
+            blocking_faults=blocking,
+            ops_in=sum(p.ops_in for p in parts),
+            ops_out=sum(p.ops_out for p in parts),
+            bytes_in=sum(p.bytes_in for p in parts),
+            bytes_out=sum(p.bytes_out for p in parts),
+            sys_time=sys_time,
+            stall_time=stall,
+            per_op_latency=max(p.per_op_latency for p in parts),
+            t_in=t_in,
+            t_out=t_out,
+            fault_time=fault_time,
+        )

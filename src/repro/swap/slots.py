@@ -1,0 +1,77 @@
+"""Swap-map slot allocation for one swap area.
+
+Each backend owns a swap area divided into page-sized slots; swapping a
+page out claims a slot, swapping in (or freeing) releases it.  The
+allocator hands out the lowest free slot (like the kernel's scan of the
+swap map) so that co-swapped pages tend to be adjacent on the device —
+which is what lets block backends merge writes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SlotExhaustedError
+from repro.units import PAGE_SIZE
+
+__all__ = ["SwapSlotAllocator"]
+
+
+class SwapSlotAllocator:
+    """Lowest-first free-slot allocator over ``n_slots`` page slots."""
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        self.n_slots = n_slots
+        self._next_fresh = 0          # slots never handed out yet
+        self._returned: list[int] = []  # min-heap of freed slots
+        self._held: set[int] = set()
+
+    @classmethod
+    def for_bytes(cls, nbytes: int, page_size: int = PAGE_SIZE) -> "SwapSlotAllocator":
+        """Size an allocator for a swap area of ``nbytes``."""
+        if nbytes < page_size:
+            raise ValueError(f"swap area of {nbytes} bytes holds no {page_size}-byte slot")
+        return cls(nbytes // page_size)
+
+    @property
+    def used(self) -> int:
+        """Slots currently held."""
+        return len(self._held)
+
+    @property
+    def free(self) -> int:
+        """Slots available."""
+        return self.n_slots - len(self._held)
+
+    def allocate(self) -> int:
+        """Claim the lowest free slot; :class:`SlotExhaustedError` when full."""
+        if self._returned:
+            slot = heapq.heappop(self._returned)
+        elif self._next_fresh < self.n_slots:
+            slot = self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise SlotExhaustedError(f"all {self.n_slots} swap slots in use")
+        self._held.add(slot)
+        return slot
+
+    def allocate_run(self, n: int) -> list[int]:
+        """Claim ``n`` slots (large-granularity swap-out of a huge page)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if n > self.free:
+            raise SlotExhaustedError(f"need {n} slots, only {self.free} free")
+        return [self.allocate() for _ in range(n)]
+
+    def release(self, slot: int) -> None:
+        """Return a slot (page swapped in and slot freed)."""
+        if slot not in self._held:
+            raise ValueError(f"slot {slot} is not held")
+        self._held.remove(slot)
+        heapq.heappush(self._returned, slot)
+
+    def holds(self, slot: int) -> bool:
+        """Whether ``slot`` is currently claimed."""
+        return slot in self._held

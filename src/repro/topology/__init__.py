@@ -1,0 +1,25 @@
+"""Platform topology: PCIe interconnect, NUMA layout, and server specs.
+
+This package encodes the *hardware substrate* of the paper's testbed
+(Section V-A1): two 10-core Xeons, >=64 GB DRAM at 134 GB/s, 1 TB NVMe SSD
+at 3.8 GB/s, 6 TB HDD at 0.4 GB/s, and dual-port ConnectX-5 RDMA NICs, all
+hanging off a PCIe 3.0/4.0 root complex.  Devices in :mod:`repro.devices`
+attach to :class:`~repro.topology.pcie.PCIeLink` endpoints so that
+multi-backend transfers genuinely contend for (and can saturate) the shared
+root-complex bandwidth — the effect Table VII measures.
+"""
+
+from repro.topology.pcie import PCIeGen, PCIeLink, PCIeSwitch, pcie_lane_bandwidth
+from repro.topology.numa import NUMADomain, NUMANode
+from repro.topology.server import ServerSpec, paper_testbed
+
+__all__ = [
+    "PCIeGen",
+    "PCIeLink",
+    "PCIeSwitch",
+    "pcie_lane_bandwidth",
+    "NUMANode",
+    "NUMADomain",
+    "ServerSpec",
+    "paper_testbed",
+]

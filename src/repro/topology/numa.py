@@ -1,0 +1,177 @@
+"""NUMA topology: nodes, distances, and access-latency model.
+
+The paper's testbed is a 2-socket machine; its configuration console uses
+NUMA placement as one of the "data distribution" knobs (Table III, Fig 12):
+binding CPU and memory to the same node keeps locality, while spilling to
+the other node trades ~1.4-2x higher latency for capacity/load balance.
+CXL memory expanders are modeled as a CPU-less NUMA node, exactly as the
+paper (and Pond/TPP) treat them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import GBps, gib, usec
+
+__all__ = ["NUMANode", "NUMADomain"]
+
+
+@dataclass
+class NUMANode:
+    """One NUMA node: optional CPUs, local DRAM, and a load/store latency."""
+
+    node_id: int
+    cpus: int
+    mem_bytes: int
+    #: Idle random-access latency for a cacheline-resident load (seconds).
+    latency: float = 85e-9
+    #: Peak DRAM bandwidth for this node's controllers (bytes/second).
+    bandwidth: float = GBps(67.0)
+    #: True for CPU-less memory expanders (CXL type-3 devices).
+    cpuless: bool = False
+    allocated: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.cpus < 0 or (self.cpus == 0) != self.cpuless:
+            raise ConfigurationError(
+                f"node {self.node_id}: cpus={self.cpus} inconsistent with cpuless={self.cpuless}"
+            )
+        if self.mem_bytes <= 0:
+            raise ConfigurationError(f"node {self.node_id}: mem_bytes must be positive")
+
+    @property
+    def free(self) -> int:
+        """Unallocated bytes on this node."""
+        return self.mem_bytes - self.allocated
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve ``nbytes``; raises :class:`CapacityError` if absent."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes > self.free:
+            raise CapacityError(
+                f"node {self.node_id}: requested {nbytes} bytes, only {self.free} free"
+            )
+        self.allocated += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the node."""
+        if nbytes < 0 or nbytes > self.allocated:
+            raise ValueError(f"release({nbytes}) invalid with allocated={self.allocated}")
+        self.allocated -= nbytes
+
+
+class NUMADomain:
+    """A set of NUMA nodes plus the inter-node distance matrix.
+
+    ``distance`` follows the Linux SLIT convention: 10 = local, 21 =
+    typical remote socket, ~30+ = CXL-attached expander.  Effective access
+    latency scales linearly with distance/10.
+    """
+
+    def __init__(self, nodes: list[NUMANode], distance: np.ndarray | None = None) -> None:
+        if not nodes:
+            raise ConfigurationError("NUMADomain needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if ids != list(range(len(nodes))):
+            raise ConfigurationError(f"node ids must be 0..n-1 in order, got {ids}")
+        self.nodes = list(nodes)
+        n = len(nodes)
+        if distance is None:
+            distance = np.full((n, n), 21.0)
+            np.fill_diagonal(distance, 10.0)
+        distance = np.asarray(distance, dtype=np.float64)
+        if distance.shape != (n, n):
+            raise ConfigurationError(f"distance must be {n}x{n}, got {distance.shape}")
+        if not np.allclose(np.diag(distance), 10.0):
+            raise ConfigurationError("SLIT diagonal must be 10")
+        if (distance < 10.0).any():
+            raise ConfigurationError("SLIT distances must be >= 10")
+        self.distance = distance
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_memory(self) -> int:
+        """Total DRAM bytes across all nodes."""
+        return sum(n.mem_bytes for n in self.nodes)
+
+    @property
+    def total_cpus(self) -> int:
+        """Total CPU count across all nodes."""
+        return sum(n.cpus for n in self.nodes)
+
+    def access_latency(self, cpu_node: int, mem_node: int) -> float:
+        """Load latency for a CPU on ``cpu_node`` touching ``mem_node``."""
+        base = self.nodes[mem_node].latency
+        return base * self.distance[cpu_node, mem_node] / 10.0
+
+    def remote_penalty(self, cpu_node: int, mem_node: int) -> float:
+        """Latency multiplier vs. a local access (1.0 when local)."""
+        return float(self.distance[cpu_node, mem_node] / 10.0)
+
+    def pick_memory_node(self, cpu_node: int, nbytes: int, spill: bool = True) -> int:
+        """Choose a node to place ``nbytes``: local first, then nearest.
+
+        With ``spill=False`` only the local node is considered (the paper's
+        strict same-socket binding for NUMA-sensitive tasks); otherwise the
+        nearest node with room wins (the load-balance strategy offered to
+        insensitive tasks).
+        """
+        if self.nodes[cpu_node].free >= nbytes:
+            return cpu_node
+        if not spill:
+            raise CapacityError(
+                f"node {cpu_node} lacks {nbytes} bytes and spilling is disabled"
+            )
+        order = np.argsort(self.distance[cpu_node])
+        for idx in order:
+            node = self.nodes[int(idx)]
+            if node.free >= nbytes:
+                return node.node_id
+        raise CapacityError(f"no NUMA node can hold {nbytes} bytes")
+
+    @classmethod
+    def two_socket(
+        cls,
+        cpus_per_socket: int = 10,
+        mem_per_socket: int = gib(32),
+        remote_distance: float = 21.0,
+    ) -> "NUMADomain":
+        """The paper's 2x10-core testbed layout."""
+        nodes = [
+            NUMANode(0, cpus_per_socket, mem_per_socket),
+            NUMANode(1, cpus_per_socket, mem_per_socket),
+        ]
+        dist = np.array([[10.0, remote_distance], [remote_distance, 10.0]])
+        return cls(nodes, dist)
+
+    def with_cxl_node(
+        self,
+        mem_bytes: int = gib(64),
+        latency: float = usec(0.25),
+        bandwidth: float = GBps(28.0),
+        distance: float = 32.0,
+    ) -> "NUMADomain":
+        """Return a new domain with a CPU-less CXL expander appended.
+
+        Defaults follow DirectCXL-class devices: ~250 ns loaded latency,
+        ~28 GB/s per x8 CXL 1.0 port (Fig 1b's "CXL" bar).
+        """
+        n = len(self.nodes)
+        cxl = NUMANode(
+            n, 0, mem_bytes, latency=latency, bandwidth=bandwidth, cpuless=True
+        )
+        new_dist = np.full((n + 1, n + 1), distance)
+        new_dist[:n, :n] = self.distance
+        new_dist[n, n] = 10.0
+        nodes = [
+            NUMANode(m.node_id, m.cpus, m.mem_bytes, m.latency, m.bandwidth, m.cpuless)
+            for m in self.nodes
+        ]
+        return NUMADomain(nodes + [cxl], new_dist)

@@ -1,0 +1,52 @@
+"""Page tracing and characteristic fusion.
+
+The paper's configuration console consumes a *page trace table* (Fig 9-(a))
+and fuses it into the statistics that drive every knob:
+
+* **data fragment ratio** — how much of the footprint sits in contiguous
+  segments (Fig 10) → data-granularity choice;
+* **sequential access ratio / max run** — sequential vs random I/O mix
+  (Fig 11) → I/O-width choice;
+* **hot-data segment ratio** — the skew of the access histogram (Fig 9) →
+  minimum local-memory size / far-memory ratio;
+* **anonymous : file-backed ratio** — which pages the swap path will even
+  see (Fig 8) → backend preference;
+* **load : store ratio** — read-vs-write tilt of the swap traffic.
+"""
+
+from repro.trace.schema import TRACE_DTYPE, PageTrace, concat_traces, make_trace
+from repro.trace.tracer import PageTraceTable
+from repro.trace.analysis import (
+    access_histogram,
+    footprint_segments,
+    fragment_ratio,
+    hot_data_ratio,
+    load_ratio,
+    sequential_runs,
+    sequential_stats,
+    stream_interleave,
+)
+from repro.trace.fusion import PageFeatures, fuse
+from repro.trace.io import load_trace, save_trace, trace_from_csv, trace_to_csv
+
+__all__ = [
+    "TRACE_DTYPE",
+    "PageTrace",
+    "make_trace",
+    "concat_traces",
+    "PageTraceTable",
+    "footprint_segments",
+    "fragment_ratio",
+    "sequential_runs",
+    "sequential_stats",
+    "stream_interleave",
+    "access_histogram",
+    "hot_data_ratio",
+    "load_ratio",
+    "PageFeatures",
+    "fuse",
+    "save_trace",
+    "load_trace",
+    "trace_to_csv",
+    "trace_from_csv",
+]

@@ -1,0 +1,193 @@
+"""Vectorized page-trace statistics.
+
+Each function maps a trace (or its page column) to one of the quantities
+the paper's console fuses (Section IV-B1): fragment ratio, sequential-run
+structure, access-frequency skew, load/store mix.  All are pure numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.page import PageOp
+from repro.trace.schema import PageTrace
+
+__all__ = [
+    "footprint_segments",
+    "fragment_ratio",
+    "sequential_runs",
+    "SequentialStats",
+    "sequential_stats",
+    "access_histogram",
+    "hot_data_ratio",
+    "load_ratio",
+]
+
+
+def footprint_segments(pages: np.ndarray) -> np.ndarray:
+    """Lengths of maximal contiguous page-id segments in the footprint.
+
+    The footprint is the set of distinct pages touched; a *segment* is a
+    maximal run of consecutive page ids within it (Fig 10's "data segments
+    formed from contiguous memory addresses").  Returns segment lengths in
+    address order.
+    """
+    pages = np.asarray(pages)
+    if pages.ndim != 1:
+        raise TraceError(f"pages must be 1-D, got shape {pages.shape}")
+    if pages.size == 0:
+        return np.empty(0, dtype=np.int64)
+    uniq = np.unique(pages)
+    # boundaries where the next unique id is not previous+1
+    breaks = np.flatnonzero(np.diff(uniq) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [uniq.size - 1]))
+    return (ends - starts + 1).astype(np.int64)
+
+
+def fragment_ratio(pages: np.ndarray, min_segment_pages: int = 16) -> float:
+    """Fraction of the footprint lying in segments >= ``min_segment_pages``.
+
+    High values mean the data is contiguous (few fragments) and large
+    transfer granularity is safe; low values mean scattering, where large
+    granules mostly carry useless neighbours (I/O amplification).
+    """
+    if min_segment_pages < 1:
+        raise ValueError(f"min_segment_pages must be >= 1, got {min_segment_pages}")
+    seg = footprint_segments(pages)
+    if seg.size == 0:
+        return 0.0
+    total = int(seg.sum())
+    big = int(seg[seg >= min_segment_pages].sum())
+    return big / total
+
+
+def sequential_runs(pages: np.ndarray) -> np.ndarray:
+    """Lengths of maximal +1-strided runs in the *access stream*.
+
+    Unlike :func:`footprint_segments` (a property of the address set),
+    this is a property of access *order*: ``[7, 8, 9, 3, 4]`` has runs of
+    length 3 and 2.  Single accesses count as runs of length 1.
+    """
+    pages = np.asarray(pages)
+    if pages.ndim != 1:
+        raise TraceError(f"pages must be 1-D, got shape {pages.shape}")
+    if pages.size == 0:
+        return np.empty(0, dtype=np.int64)
+    sequential = np.diff(pages) == 1
+    breaks = np.flatnonzero(~sequential)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [pages.size - 1]))
+    return (ends - starts + 1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class SequentialStats:
+    """Summary of the sequential/random structure of an access stream."""
+
+    #: fraction of accesses inside runs >= the threshold used
+    seq_access_ratio: float
+    #: longest sequential run, in pages (Fig 11's "maximum sizes of
+    #: sequentially accessed data")
+    max_run: int
+    #: mean run length over all runs
+    mean_run: float
+
+
+def sequential_stats(pages: np.ndarray, min_run: int = 8) -> SequentialStats:
+    """Compute :class:`SequentialStats` with runs >= ``min_run`` counted
+    as sequential (Fig 11's classification)."""
+    if min_run < 1:
+        raise ValueError(f"min_run must be >= 1, got {min_run}")
+    runs = sequential_runs(pages)
+    if runs.size == 0:
+        return SequentialStats(0.0, 0, 0.0)
+    total = int(runs.sum())
+    seq = int(runs[runs >= min_run].sum())
+    return SequentialStats(
+        seq_access_ratio=seq / total,
+        max_run=int(runs.max()),
+        mean_run=float(runs.mean()),
+    )
+
+
+def stream_interleave(pages: np.ndarray, min_run: int = 4) -> float:
+    """Fraction of sequential runs that *resume* an earlier interrupted run.
+
+    Layer-by-layer AI inference interleaves several sequential streams
+    (weights, activations, KV cache): each stream's run is cut short by the
+    others and picked up again later.  Single-stream scans (STREAM, K-means
+    point sweeps) never resume.  This matters to prefetching: a simple
+    sequential-window prefetcher (kernel readahead, stride prefetch)
+    resets on every stream switch, while granularity-based batch transfer
+    does not care about interleaving — which is exactly the gap xDM's
+    granularity knob exploits on inference workloads.
+
+    Only runs of at least ``min_run`` pages participate (shorter runs are
+    noise, not streams).
+    """
+    if min_run < 2:
+        raise ValueError(f"min_run must be >= 2, got {min_run}")
+    pages = np.asarray(pages)
+    if pages.ndim != 1:
+        raise TraceError(f"pages must be 1-D, got shape {pages.shape}")
+    if pages.size < 2:
+        return 0.0
+    runs = sequential_runs(pages)
+    big = runs >= min_run
+    if int(big.sum()) < 2:
+        return 0.0
+    # start index of each run within the access stream
+    bounds = np.concatenate(([0], np.cumsum(runs)))
+    starts = pages[bounds[:-1][big]]
+    ends = pages[bounds[1:][big] - 1]
+    resumed = 0
+    seen_ends: set[int] = set()
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        if s - 1 in seen_ends:
+            resumed += 1
+        seen_ends.add(e)
+    return resumed / int(big.sum())
+
+
+def access_histogram(pages: np.ndarray) -> np.ndarray:
+    """Access counts per distinct page, sorted descending (the skew curve)."""
+    pages = np.asarray(pages)
+    if pages.size == 0:
+        return np.empty(0, dtype=np.int64)
+    _, counts = np.unique(pages, return_counts=True)
+    counts.sort()
+    return counts[::-1].astype(np.int64)
+
+
+def hot_data_ratio(pages: np.ndarray, coverage: float = 0.8) -> float:
+    """Smallest fraction of distinct pages absorbing ``coverage`` of accesses.
+
+    This is the console's "proportion of frequently accessed data
+    segments": a value of 0.1 means 10% of the footprint serves 80% of
+    accesses — keep that 10% local and most faults disappear.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    counts = access_histogram(pages)
+    if counts.size == 0:
+        return 0.0
+    cum = np.cumsum(counts)
+    target = coverage * cum[-1]
+    k = int(np.searchsorted(cum, target, side="left")) + 1
+    return k / counts.size
+
+
+def load_ratio(trace: PageTrace) -> float:
+    """Fraction of accesses that are loads (vs stores).
+
+    "This information is obtained from the counts of load and store page
+    operations" (Section IV-B2) — read-heavy swap traffic favours wider
+    read I/O; store-heavy traffic stresses writeback.
+    """
+    if len(trace) == 0:
+        return 0.0
+    return float((trace.ops == PageOp.LOAD).mean())

@@ -1,0 +1,96 @@
+"""Characteristic fusion: one trace in, every console-relevant statistic out.
+
+This is Fig 9-(a)'s "characteristic fusion module".  :func:`fuse` runs each
+analysis exactly once and packages the result as :class:`PageFeatures`,
+which the switching strategy (backend choice, Fig 8) and the parameter
+optimizer (granularity / I/O width / data distribution) both consume.
+The (expensive) reuse-distance pass is included so every downstream
+far-memory-ratio query is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.reuse import MissRatioCurve
+from repro.trace.analysis import (
+    fragment_ratio,
+    hot_data_ratio,
+    load_ratio,
+    sequential_stats,
+    stream_interleave,
+)
+from repro.trace.schema import PageTrace
+
+__all__ = ["PageFeatures", "fuse"]
+
+
+@dataclass(frozen=True)
+class PageFeatures:
+    """The fused page-behaviour profile of one application."""
+
+    #: accesses in the analyzed trace
+    n_accesses: int
+    #: distinct pages touched
+    footprint_pages: int
+    #: fraction of accesses to anonymous pages (Fig 8's discriminator)
+    anon_ratio: float
+    #: fraction of loads among accesses
+    load_ratio: float
+    #: fraction of footprint in contiguous segments (Fig 10)
+    fragment_ratio: float
+    #: fraction of accesses inside long sequential runs (Fig 11)
+    seq_access_ratio: float
+    #: longest sequential run in pages
+    max_seq_run: int
+    #: smallest footprint fraction covering 80% of accesses
+    hot_data_ratio: float
+    #: fraction of sequential runs that resume an interrupted stream —
+    #: multi-stream interleaving that defeats window prefetchers
+    interleave_ratio: float
+    #: mean accesses per distinct page — re-reference intensity
+    reuse_intensity: float
+    #: miss-ratio curve over *anonymous* accesses (what swap actually sees)
+    mrc: MissRatioCurve = field(repr=False, compare=False)
+
+    def min_local_pages(self, target_hit_ratio: float = 0.9) -> int:
+        """Console helper: minimum resident pages for acceptable latency
+        ("estimate the minimum ratio of hot data", Section IV-B1)."""
+        return self.mrc.working_set_size(target_hit_ratio)
+
+    def min_local_ratio(self, target_hit_ratio: float = 0.9) -> float:
+        """Same, as a fraction of the anonymous footprint."""
+        if self.mrc.n_pages == 0:
+            return 0.0
+        return self.min_local_pages(target_hit_ratio) / self.mrc.n_pages
+
+
+def fuse(
+    trace: PageTrace,
+    min_segment_pages: int = 16,
+    min_seq_run: int = 8,
+    hot_coverage: float = 0.8,
+) -> PageFeatures:
+    """Fuse ``trace`` into a :class:`PageFeatures` profile.
+
+    Thresholds default to the values used throughout the reproduction:
+    16-page (64 KiB) segments count as contiguous, 8-page runs as
+    sequential, and hotness covers 80% of accesses.
+    """
+    pages = trace.pages
+    anon = trace.anon_only()
+    seq = sequential_stats(pages, min_run=min_seq_run)
+    footprint = trace.footprint()
+    return PageFeatures(
+        n_accesses=len(trace),
+        footprint_pages=footprint,
+        anon_ratio=trace.anon_ratio(),
+        load_ratio=load_ratio(trace),
+        fragment_ratio=fragment_ratio(pages, min_segment_pages=min_segment_pages),
+        seq_access_ratio=seq.seq_access_ratio,
+        max_seq_run=seq.max_run,
+        hot_data_ratio=hot_data_ratio(pages, coverage=hot_coverage),
+        interleave_ratio=stream_interleave(pages, min_run=min_seq_run // 2 or 2),
+        reuse_intensity=(len(trace) / footprint) if footprint else 0.0,
+        mrc=MissRatioCurve(pages=anon.pages),
+    )

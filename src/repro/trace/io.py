@@ -1,0 +1,102 @@
+"""Trace persistence: save/load page traces and exchange them as CSV.
+
+Traces are the library's central artifact — users will want to capture
+one from a real system (e.g. a perf/PEBS pipeline), analyze it here, and
+archive the synthetic ones experiments used.  Two formats:
+
+* **.npz** (lossless, compact): the structured array plus a metadata dict
+  (schema version, workload name, scale, seed) round-trips exactly;
+* **.csv** (interchange): ``page,op,kind`` rows, header included, for
+  producing traces from shell pipelines (``perf script | awk ... ``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.schema import TRACE_DTYPE, PageTrace
+
+__all__ = ["save_trace", "load_trace", "trace_to_csv", "trace_from_csv"]
+
+#: bumped on any change to TRACE_DTYPE
+SCHEMA_VERSION = 1
+
+
+def save_trace(trace: PageTrace, path: str | Path, metadata: dict | None = None) -> None:
+    """Write ``trace`` (and optional JSON-serializable metadata) to ``path``.
+
+    The suffix ``.npz`` is appended if missing.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = dict(metadata or {})
+    meta["schema_version"] = SCHEMA_VERSION
+    try:
+        meta_json = json.dumps(meta)
+    except TypeError as exc:
+        raise TraceError(f"metadata is not JSON-serializable: {exc}") from exc
+    np.savez_compressed(
+        path,
+        records=trace.data,
+        metadata=np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: str | Path) -> tuple[PageTrace, dict]:
+    """Read a trace written by :func:`save_trace`; returns (trace, metadata)."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        with np.load(path) as archive:
+            records = archive["records"]
+            meta_raw = archive["metadata"].tobytes().decode("utf-8")
+    except (OSError, KeyError, ValueError) as exc:
+        raise TraceError(f"cannot load trace from {path}: {exc}") from exc
+    metadata = json.loads(meta_raw)
+    version = metadata.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TraceError(
+            f"{path}: schema version {version} unsupported (expected {SCHEMA_VERSION})"
+        )
+    if records.dtype != TRACE_DTYPE:
+        raise TraceError(f"{path}: unexpected record dtype {records.dtype}")
+    return PageTrace(np.ascontiguousarray(records)), metadata
+
+
+def trace_to_csv(trace: PageTrace) -> str:
+    """Render the trace as ``page,op,kind`` CSV text (with header)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(("page", "op", "kind"))
+    for page, op, kind in zip(
+        trace.pages.tolist(), trace.ops.tolist(), trace.kinds.tolist()
+    ):
+        writer.writerow((page, op, kind))
+    return out.getvalue()
+
+
+def trace_from_csv(text: str) -> PageTrace:
+    """Parse :func:`trace_to_csv`-formatted text back into a trace."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TraceError("empty CSV input") from None
+    if [h.strip() for h in header] != ["page", "op", "kind"]:
+        raise TraceError(f"unexpected CSV header: {header}")
+    rows = [row for row in reader if row]
+    records = np.empty(len(rows), dtype=TRACE_DTYPE)
+    try:
+        for i, row in enumerate(rows):
+            records[i] = (int(row[0]), int(row[1]), int(row[2]))
+    except (ValueError, IndexError) as exc:
+        raise TraceError(f"bad CSV row {i + 2}: {rows[i]}") from exc
+    return PageTrace(records)

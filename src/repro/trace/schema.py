@@ -1,0 +1,113 @@
+"""Trace record layout and the :class:`PageTrace` container.
+
+Traces are numpy structured arrays — one record per page access — so that
+all downstream analysis is vectorized (the HPC guides' first rule: no
+per-element Python in hot paths).  A million-access trace is ~10 MB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.page import PageKind, PageOp
+
+__all__ = ["TRACE_DTYPE", "PageTrace", "make_trace", "concat_traces"]
+
+#: One page access: page id, load/store, anonymous/file-backed.
+TRACE_DTYPE = np.dtype(
+    [
+        ("page", np.int64),
+        ("op", np.uint8),    # PageOp
+        ("kind", np.uint8),  # PageKind
+    ]
+)
+
+
+class PageTrace:
+    """An immutable page-access trace with typed column accessors."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        if data.dtype != TRACE_DTYPE:
+            raise TraceError(f"expected dtype {TRACE_DTYPE}, got {data.dtype}")
+        if data.ndim != 1:
+            raise TraceError(f"trace must be 1-D, got shape {data.shape}")
+        if data.size and int(data["page"].min()) < 0:
+            raise TraceError("page ids must be non-negative")
+        self._data = data
+        self._data.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw structured array (read-only)."""
+        return self._data
+
+    @property
+    def pages(self) -> np.ndarray:
+        """Page-id column."""
+        return self._data["page"]
+
+    @property
+    def ops(self) -> np.ndarray:
+        """Load/store column (:class:`~repro.mem.page.PageOp` values)."""
+        return self._data["op"]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Anon/file column (:class:`~repro.mem.page.PageKind` values)."""
+        return self._data["kind"]
+
+    @property
+    def anon_mask(self) -> np.ndarray:
+        """Boolean mask of anonymous-page accesses."""
+        return self._data["kind"] == PageKind.ANON
+
+    def anon_only(self) -> "PageTrace":
+        """The sub-trace of anonymous accesses (what the swap path sees)."""
+        return PageTrace(np.ascontiguousarray(self._data[self.anon_mask]))
+
+    def footprint(self) -> int:
+        """Number of distinct pages touched."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self._data["page"]).shape[0])
+
+    def anon_ratio(self) -> float:
+        """Fraction of accesses hitting anonymous pages (Fig 8's x-axis)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.anon_mask.mean())
+
+    def slice(self, start: int, stop: int) -> "PageTrace":
+        """A contiguous window of the trace (epoch extraction)."""
+        return PageTrace(np.ascontiguousarray(self._data[start:stop]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PageTrace n={len(self)} footprint={self.footprint()}>"
+
+
+def make_trace(
+    pages: np.ndarray,
+    ops: np.ndarray | int = PageOp.LOAD,
+    kinds: np.ndarray | int = PageKind.ANON,
+) -> PageTrace:
+    """Assemble a :class:`PageTrace` from columns (scalars broadcast)."""
+    pages = np.asarray(pages, dtype=np.int64)
+    n = pages.shape[0]
+    rec = np.empty(n, dtype=TRACE_DTYPE)
+    rec["page"] = pages
+    rec["op"] = np.broadcast_to(np.asarray(ops, dtype=np.uint8), (n,))
+    rec["kind"] = np.broadcast_to(np.asarray(kinds, dtype=np.uint8), (n,))
+    return PageTrace(rec)
+
+
+def concat_traces(traces: list[PageTrace]) -> PageTrace:
+    """Concatenate traces in order (phases of one application)."""
+    if not traces:
+        return PageTrace(np.empty(0, dtype=TRACE_DTYPE))
+    return PageTrace(np.concatenate([t.data for t in traces]))

@@ -1,0 +1,99 @@
+"""Incremental page-trace collection — the paper's page trace table.
+
+The DES swap path records each page-fault/reclaim event here; workload
+generators write whole epochs at once.  Storage is chunked numpy so
+appends are amortized O(1) and export is a single concatenate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.page import PageKind, PageOp
+from repro.trace.schema import TRACE_DTYPE, PageTrace
+
+__all__ = ["PageTraceTable"]
+
+
+class PageTraceTable:
+    """Append-optimized trace collector with an optional ring-buffer cap.
+
+    ``max_records`` bounds memory like the kernel's trace ring buffer: once
+    full, the *oldest* chunk is dropped (recent behaviour matters most for
+    online reconfiguration).
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, max_records: int | None = None) -> None:
+        if max_records is not None and max_records < self._CHUNK:
+            raise ValueError(f"max_records must be >= {self._CHUNK} or None")
+        self.max_records = max_records
+        self._chunks: list[np.ndarray] = []
+        self._buf = np.empty(self._CHUNK, dtype=TRACE_DTYPE)
+        self._fill = 0
+        self._total = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return sum(c.shape[0] for c in self._chunks) + self._fill
+
+    @property
+    def total_recorded(self) -> int:
+        """All records ever recorded, including any dropped by the cap."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded by the ring-buffer cap."""
+        return self._dropped
+
+    def record(self, page: int, op: PageOp = PageOp.LOAD, kind: PageKind = PageKind.ANON) -> None:
+        """Append one access."""
+        if page < 0:
+            raise TraceError(f"page ids must be non-negative, got {page}")
+        row = self._buf[self._fill]
+        row["page"] = page
+        row["op"] = int(op)
+        row["kind"] = int(kind)
+        self._fill += 1
+        self._total += 1
+        if self._fill == self._CHUNK:
+            self._seal()
+
+    def record_block(self, trace: PageTrace) -> None:
+        """Append a whole trace (one workload epoch)."""
+        if self._fill:
+            self._seal()
+        if len(trace):
+            self._chunks.append(trace.data)
+            self._total += len(trace)
+            self._enforce_cap()
+
+    def _seal(self) -> None:
+        self._chunks.append(self._buf[: self._fill].copy())
+        self._buf = np.empty(self._CHUNK, dtype=TRACE_DTYPE)
+        self._fill = 0
+        self._enforce_cap()
+
+    def _enforce_cap(self) -> None:
+        if self.max_records is None:
+            return
+        while self._chunks and sum(c.shape[0] for c in self._chunks) > self.max_records:
+            oldest = self._chunks.pop(0)
+            self._dropped += oldest.shape[0]
+
+    def export(self) -> PageTrace:
+        """Snapshot the table as an immutable :class:`PageTrace`."""
+        parts = list(self._chunks)
+        if self._fill:
+            parts.append(self._buf[: self._fill].copy())
+        if not parts:
+            return PageTrace(np.empty(0, dtype=TRACE_DTYPE))
+        return PageTrace(np.concatenate(parts))
+
+    def clear(self) -> None:
+        """Reset the table (dropping everything, keeping counters)."""
+        self._chunks.clear()
+        self._fill = 0

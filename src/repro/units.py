@@ -1,0 +1,126 @@
+"""Unit helpers and constants used across the simulator.
+
+Conventions
+-----------
+* **time** is simulated seconds (``float``); helpers exist for µs/ms.
+* **sizes** are bytes (``int``); helpers exist for KiB/MiB/GiB and the
+  decimal KB/MB/GB used by device vendors.
+* **bandwidth** is bytes/second (``float``); device datasheets quote GB/s
+  (decimal), so :func:`GBps` converts from the vendor convention.
+
+The paper mixes vendor units (GB/s bandwidths, Fig 1b) with kernel units
+(4 KiB pages, 2 MiB huge pages); keeping both spellings explicit here avoids
+the classic 7% GiB-vs-GB skew leaking into results.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB", "MiB", "GiB", "TiB",
+    "KB", "MB", "GB", "TB",
+    "PAGE_SIZE", "HUGE_PAGE_SIZE", "PAGES_PER_HUGE_PAGE",
+    "kib", "mib", "gib", "tib",
+    "GBps", "MBps",
+    "usec", "msec",
+    "to_pages", "pages_to_bytes",
+    "fmt_bytes", "fmt_bw", "fmt_time",
+]
+
+# Binary sizes (kernel convention).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+# Decimal sizes (device-vendor convention).
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+TB: int = 1000 * GB
+
+#: Base (small) page size used throughout: 4 KiB, as in the paper's testbed.
+PAGE_SIZE: int = 4 * KiB
+#: Transparent-huge-page size: 2 MiB (x86-64).
+HUGE_PAGE_SIZE: int = 2 * MiB
+#: 512 base pages back one huge page.
+PAGES_PER_HUGE_PAGE: int = HUGE_PAGE_SIZE // PAGE_SIZE
+
+
+def kib(n: float) -> int:
+    """``n`` KiB expressed in bytes."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """``n`` MiB expressed in bytes."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """``n`` GiB expressed in bytes."""
+    return int(n * GiB)
+
+
+def tib(n: float) -> int:
+    """``n`` TiB expressed in bytes."""
+    return int(n * TiB)
+
+
+def GBps(n: float) -> float:
+    """Vendor ``n`` GB/s expressed in bytes/second."""
+    return n * GB
+
+
+def MBps(n: float) -> float:
+    """Vendor ``n`` MB/s expressed in bytes/second."""
+    return n * MB
+
+
+def usec(n: float) -> float:
+    """``n`` microseconds expressed in simulated seconds."""
+    return n * 1e-6
+
+
+def msec(n: float) -> float:
+    """``n`` milliseconds expressed in simulated seconds."""
+    return n * 1e-3
+
+
+def to_pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of ``page_size`` pages needed to hold ``nbytes`` (ceiling)."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if page_size <= 0:
+        raise ValueError(f"page_size must be positive, got {page_size}")
+    return -(-nbytes // page_size)
+
+
+def pages_to_bytes(npages: int, page_size: int = PAGE_SIZE) -> int:
+    """Bytes spanned by ``npages`` pages of ``page_size``."""
+    if npages < 0:
+        raise ValueError(f"npages must be non-negative, got {npages}")
+    return npages * page_size
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable binary size, e.g. ``6.0GiB``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_bw(bytes_per_s: float) -> str:
+    """Human-readable bandwidth in the vendor convention, e.g. ``10.0GB/s``."""
+    return f"{bytes_per_s / GB:.2f}GB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration picking µs/ms/s automatically."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

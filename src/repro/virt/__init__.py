@@ -1,0 +1,23 @@
+"""Virtualization layer: VMs, hypervisor, SR-IOV, resource controls.
+
+xDM's isolation story runs through VMs: each compute instance gets its own
+guest-level swap frontend bound to a dedicated backend path (SR-IOV RDMA
+virtual function or a private SSD partition), and switching backends needs
+only a VM-level module switch — never a host reboot (Fig 18-a's 2.6x).
+"""
+
+from repro.virt.vm import VM, VMState
+from repro.virt.hypervisor import Hypervisor, HOST_BOOT_COST, VM_BOOT_COST, VM_REBOOT_COST
+from repro.virt.sriov import SRIOVManager
+from repro.virt.cgroup import VMResourceControls
+
+__all__ = [
+    "VM",
+    "VMState",
+    "Hypervisor",
+    "HOST_BOOT_COST",
+    "VM_BOOT_COST",
+    "VM_REBOOT_COST",
+    "SRIOVManager",
+    "VMResourceControls",
+]

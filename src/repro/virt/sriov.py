@@ -1,0 +1,66 @@
+"""SR-IOV virtual-function management for RDMA backends.
+
+Section IV-A1: the switchable RDMA backend "uses SR-IOV (Single Root I/O
+Virtualization) to generate virtualized RDMA card for each VM".  The
+manager carves VFs off physical NICs, tracks VM bindings, and enforces the
+per-card VF budget.
+"""
+
+from __future__ import annotations
+
+from repro.devices.rdma import RDMANic
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["SRIOVManager"]
+
+
+class SRIOVManager:
+    """Allocates SR-IOV virtual functions from a pool of physical NICs."""
+
+    def __init__(self, nics: list[RDMANic], max_vfs_per_nic: int = 8) -> None:
+        if not nics:
+            raise ConfigurationError("SRIOVManager needs at least one physical NIC")
+        if max_vfs_per_nic < 1:
+            raise ConfigurationError(f"max_vfs_per_nic must be >= 1, got {max_vfs_per_nic}")
+        self.nics = list(nics)
+        self.max_vfs_per_nic = max_vfs_per_nic
+        self._vfs_by_nic: dict[str, list[RDMANic]] = {nic.name: [] for nic in nics}
+        self._binding: dict[str, RDMANic] = {}  # vm name -> VF
+
+    def vf_count(self, nic: RDMANic) -> int:
+        """VFs currently carved from ``nic``."""
+        return len(self._vfs_by_nic[nic.name])
+
+    def _least_loaded(self) -> RDMANic:
+        nic = min(self.nics, key=lambda n: len(self._vfs_by_nic[n.name]))
+        if len(self._vfs_by_nic[nic.name]) >= self.max_vfs_per_nic:
+            raise CapacityError("all NICs are at their VF budget")
+        return nic
+
+    def allocate(self, vm_name: str) -> RDMANic:
+        """Give ``vm_name`` a VF with an equal share of the NIC's bandwidth.
+
+        Shares are set to 1/max_vfs so a VF's envelope is stable regardless
+        of how many siblings exist (hardware VF rate limiting).
+        """
+        if vm_name in self._binding:
+            raise ConfigurationError(f"{vm_name} already holds a VF")
+        nic = self._least_loaded()
+        vf = nic.virtual_function(share=1.0 / self.max_vfs_per_nic, name=f"{nic.name}:{vm_name}")
+        self._vfs_by_nic[nic.name].append(vf)
+        self._binding[vm_name] = vf
+        return vf
+
+    def release(self, vm_name: str) -> None:
+        """Return ``vm_name``'s VF to the pool."""
+        vf = self._binding.pop(vm_name, None)
+        if vf is None:
+            raise ConfigurationError(f"{vm_name} holds no VF")
+        for vfs in self._vfs_by_nic.values():
+            if vf in vfs:
+                vfs.remove(vf)
+                return
+
+    def vf_of(self, vm_name: str) -> RDMANic | None:
+        """The VF bound to ``vm_name``, if any."""
+        return self._binding.get(vm_name)

@@ -1,0 +1,106 @@
+"""Virtual machine model with lifecycle, backend binding, and occupancy.
+
+The states mirror Algorithm 1's vocabulary: *online* VMs are running
+applications; *free* (idle) VMs are booted and warm, waiting in the pool;
+*off* VMs exist only as configuration.  Each VM carries its own swap
+frontend whose active backend is the VM's far-memory path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CapacityError, VMStateError
+from repro.simcore import Simulator
+from repro.swap.frontend import SwapFrontend
+from repro.virt.cgroup import VMResourceControls
+
+__all__ = ["VMState", "VM"]
+
+
+class VMState(str, enum.Enum):
+    """VM lifecycle states."""
+
+    OFF = "off"
+    FREE = "free"      #: booted, idle, warm (Algorithm 1's FVs)
+    ONLINE = "online"  #: running at least one application (OVs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class VM:
+    """One compute instance with its own swap frontend and FM path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        controls: VMResourceControls,
+        max_apps: int = 1,
+    ) -> None:
+        if max_apps < 1:
+            raise VMStateError(f"max_apps must be >= 1, got {max_apps}")
+        self.sim = sim
+        self.name = name
+        self.controls = controls
+        self.max_apps = max_apps
+        self.state = VMState.OFF
+        self.frontend = SwapFrontend(sim, name=f"{name}:fe")
+        self.apps: list[str] = []
+        self.switch_count = 0
+        self.boot_count = 0
+
+    # -- Algorithm 1 predicates --------------------------------------------
+    @property
+    def backend(self) -> str | None:
+        """The VM's current far-memory path (``Online_VM.backend``)."""
+        return self.frontend.active_backend
+
+    def accept(self, app_name: str, mem_bytes: int = 0) -> bool:
+        """``VM.accept(a)``: can this VM take one more application?"""
+        if self.state is VMState.OFF:
+            return False
+        if len(self.apps) >= self.max_apps:
+            return False
+        return mem_bytes <= self.controls.memory_bytes
+
+    # -- lifecycle ----------------------------------------------------------
+    def boot(self, delay: float):
+        """DES process: power on into the FREE state after ``delay``."""
+        if self.state is not VMState.OFF:
+            raise VMStateError(f"{self.name}: boot from state {self.state}")
+
+        def proc():
+            yield self.sim.timeout(delay)
+            self.state = VMState.FREE
+            self.boot_count += 1
+            return self.name
+
+        return self.sim.process(proc(), name=f"{self.name}:boot")
+
+    def dispatch(self, app_name: str, mem_bytes: int = 0) -> None:
+        """Place an application onto this VM (instantaneous bookkeeping)."""
+        if not self.accept(app_name, mem_bytes):
+            raise CapacityError(f"{self.name} cannot accept {app_name}")
+        self.apps.append(app_name)
+        self.state = VMState.ONLINE
+
+    def finish(self, app_name: str) -> None:
+        """An application completed; VM returns to FREE when empty."""
+        try:
+            self.apps.remove(app_name)
+        except ValueError:
+            raise VMStateError(f"{app_name} is not running on {self.name}") from None
+        if not self.apps:
+            self.state = VMState.FREE
+
+    def switch_backend(self, backend_name: str):
+        """DES process: ``Free_VM.SwitchBackend(b_a)`` via the frontend."""
+        if self.state is VMState.OFF:
+            raise VMStateError(f"{self.name}: switch while off")
+        self.switch_count += 1
+        return self.frontend.switch_to(backend_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VM {self.name} {self.state} backend={self.backend} apps={self.apps}>"

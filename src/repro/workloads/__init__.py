@@ -1,0 +1,51 @@
+"""Workload models — the 17 Table-V applications as page-trace synthesizers.
+
+The paper's policies never inspect application code; they act on *page
+behaviour* (Section IV-B: fragment ratio, sequential/random mix, hotness,
+anonymous/file split).  Each workload here is therefore a parameterized
+trace generator whose output reproduces the corresponding application's
+page statistics, plus the compute-side constants (arithmetic intensity,
+NUMA sensitivity) the runtime model needs.
+
+Graph workloads (`lg-*`, `gg-*`) do not fake it: a real CSR engine
+(:mod:`repro.workloads.graph`) runs BFS / betweenness centrality /
+connected components / MIS / PageRank over synthetic power-law graphs and
+records the actual vertex/edge array touches.  AI workloads replay
+layer-by-layer tensor walks (:mod:`repro.workloads.ai`).
+"""
+
+from repro.workloads.base import Workload, WorkloadCategory, WorkloadSpec
+from repro.workloads.generators import (
+    fragment_footprint,
+    hot_cold_accesses,
+    interleave_kinds,
+    phase_mix,
+    sequential_scan,
+    strided_scan,
+    zipf_accesses,
+)
+from repro.workloads.suite import (
+    TABLE_V,
+    WORKLOAD_NAMES,
+    get_workload,
+    swap_friendly_names,
+    swap_sensitive_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "WorkloadCategory",
+    "sequential_scan",
+    "strided_scan",
+    "zipf_accesses",
+    "hot_cold_accesses",
+    "phase_mix",
+    "fragment_footprint",
+    "interleave_kinds",
+    "TABLE_V",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "swap_friendly_names",
+    "swap_sensitive_names",
+]

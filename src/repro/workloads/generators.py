@@ -1,0 +1,191 @@
+"""Vectorized access-pattern primitives for trace synthesis.
+
+These compose into realistic page behaviours: a K-means epoch is
+``phase_mix([sequential_scan(points), hot_cold(centroids)])``; a shuffled
+Spark stage is a zipf gather over a fragmented footprint; etc.  All
+generators are numpy-only and deterministic given a
+:class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.page import PageKind, PageOp
+from repro.trace.schema import PageTrace, make_trace
+
+__all__ = [
+    "sequential_scan",
+    "strided_scan",
+    "zipf_accesses",
+    "hot_cold_accesses",
+    "phase_mix",
+    "fragment_footprint",
+    "interleave_kinds",
+    "mark_stores",
+]
+
+
+def sequential_scan(n_pages: int, passes: int = 1, start: int = 0) -> np.ndarray:
+    """``passes`` full sequential sweeps over ``n_pages`` pages."""
+    if n_pages < 1 or passes < 1:
+        raise ValueError(f"need n_pages>=1, passes>=1; got {n_pages}, {passes}")
+    return np.tile(np.arange(start, start + n_pages, dtype=np.int64), passes)
+
+
+def strided_scan(n_pages: int, stride: int, passes: int = 1, start: int = 0) -> np.ndarray:
+    """Strided sweeps (column-major matrix walks, grid partitions)."""
+    if n_pages < 1 or stride < 1 or passes < 1:
+        raise ValueError("n_pages, stride, passes must all be >= 1")
+    one = np.concatenate(
+        [np.arange(off, n_pages, stride, dtype=np.int64) for off in range(min(stride, n_pages))]
+    )
+    return np.tile(one + start, passes)
+
+
+def zipf_accesses(
+    rng: np.random.Generator,
+    n_pages: int,
+    n_accesses: int,
+    alpha: float = 1.1,
+    start: int = 0,
+) -> np.ndarray:
+    """Zipf-skewed random accesses over ``n_pages`` pages.
+
+    ``alpha`` near 1 is mildly skewed (graph vertex popularity); large
+    alpha concentrates on a few hot pages.  Page ranks are shuffled so the
+    hot set is scattered across the address space, as real heaps are.
+    """
+    if n_pages < 1 or n_accesses < 0:
+        raise ValueError("n_pages must be >= 1, n_accesses >= 0")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    ranks = np.arange(1, n_pages + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    perm = rng.permutation(n_pages)
+    draws = rng.choice(n_pages, size=n_accesses, p=weights)
+    return (perm[draws] + start).astype(np.int64)
+
+
+def hot_cold_accesses(
+    rng: np.random.Generator,
+    n_pages: int,
+    n_accesses: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.9,
+    start: int = 0,
+) -> np.ndarray:
+    """Two-temperature accesses: ``hot_probability`` of touches land on the
+    ``hot_fraction`` hottest pages (a crisp knob for hot-data-ratio)."""
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in (0,1], got {hot_fraction}")
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError(f"hot_probability must be in [0,1], got {hot_probability}")
+    n_hot = max(1, int(n_pages * hot_fraction))
+    is_hot = rng.random(n_accesses) < hot_probability
+    pages = np.empty(n_accesses, dtype=np.int64)
+    pages[is_hot] = rng.integers(0, n_hot, size=int(is_hot.sum()))
+    pages[~is_hot] = rng.integers(n_hot, max(n_hot + 1, n_pages), size=int((~is_hot).sum()))
+    return pages + start
+
+
+def phase_mix(phases: list[np.ndarray]) -> np.ndarray:
+    """Concatenate access phases in program order."""
+    if not phases:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in phases])
+
+
+def fragment_footprint(
+    rng: np.random.Generator,
+    pages: np.ndarray,
+    contiguous_fraction: float,
+    segment_pages: int = 64,
+    spread: int = 16,
+) -> np.ndarray:
+    """Remap page ids so only ``contiguous_fraction`` of the footprint stays
+    in >=``segment_pages`` contiguous segments (the Fig 10 knob).
+
+    The footprint is split: the contiguous share maps to packed
+    ``segment_pages``-sized runs; the rest scatters to isolated addresses
+    ``spread`` pages apart.  Access order is preserved, so sequential-run
+    structure degrades consistently with the fragmentation.
+    """
+    if not 0.0 <= contiguous_fraction <= 1.0:
+        raise ValueError(f"contiguous_fraction must be in [0,1], got {contiguous_fraction}")
+    if segment_pages < 2 or spread < 2:
+        raise ValueError("segment_pages and spread must be >= 2")
+    pages = np.asarray(pages, dtype=np.int64)
+    if pages.size == 0:
+        return pages.copy()
+    uniq = np.unique(pages)
+    n = uniq.size
+    n_contig = int(n * contiguous_fraction)
+    # choose which footprint pages stay contiguous (a random subset, so the
+    # fragmented pages interleave with segments in access order)
+    chosen = rng.permutation(n)
+    contig_idx = np.sort(chosen[:n_contig])
+    frag_idx = np.sort(chosen[n_contig:])
+    new_ids = np.empty(n, dtype=np.int64)
+    # contiguous share: packed runs of segment_pages, separated by one-page
+    # holes so segments do not merge into one giant run
+    k = np.arange(n_contig, dtype=np.int64)
+    new_ids[contig_idx] = k + (k // segment_pages) * 2
+    # fragmented share: isolated ids far apart, placed after the packed area
+    base = int(new_ids[contig_idx].max()) + spread if n_contig else 0
+    new_ids[frag_idx] = base + np.arange(n - n_contig, dtype=np.int64) * spread
+    # remap the access stream
+    lut_pos = np.searchsorted(uniq, pages)
+    return new_ids[lut_pos]
+
+
+def interleave_kinds(
+    rng: np.random.Generator,
+    pages: np.ndarray,
+    anon_ratio: float,
+) -> np.ndarray:
+    """Assign ANON/FILE per *page* (not per access) at ``anon_ratio``.
+
+    Real processes have anonymous heaps and file-backed mappings as
+    disjoint page sets; marking per page keeps that structure, so the
+    access-level anon ratio tracks the page-level one weighted by hotness.
+    """
+    if not 0.0 <= anon_ratio <= 1.0:
+        raise ValueError(f"anon_ratio must be in [0,1], got {anon_ratio}")
+    pages = np.asarray(pages, dtype=np.int64)
+    uniq = np.unique(pages)
+    is_anon = rng.random(uniq.size) < anon_ratio
+    lut_pos = np.searchsorted(uniq, pages)
+    kinds = np.where(is_anon[lut_pos], PageKind.ANON, PageKind.FILE)
+    return kinds.astype(np.uint8)
+
+
+def mark_stores(
+    rng: np.random.Generator,
+    n_accesses: int,
+    store_ratio: float,
+) -> np.ndarray:
+    """Random LOAD/STORE labels at the given store ratio."""
+    if not 0.0 <= store_ratio <= 1.0:
+        raise ValueError(f"store_ratio must be in [0,1], got {store_ratio}")
+    ops = np.where(rng.random(n_accesses) < store_ratio, PageOp.STORE, PageOp.LOAD)
+    return ops.astype(np.uint8)
+
+
+def assemble(
+    rng: np.random.Generator,
+    pages: np.ndarray,
+    anon_ratio: float = 1.0,
+    store_ratio: float = 0.2,
+) -> PageTrace:
+    """Bundle a page stream into a :class:`PageTrace` with kinds and ops."""
+    pages = np.asarray(pages, dtype=np.int64)
+    if pages.size and pages.min() < 0:
+        raise TraceError("generated pages must be non-negative")
+    return make_trace(
+        pages,
+        ops=mark_stores(rng, pages.size, store_ratio),
+        kinds=interleave_kinds(rng, pages, anon_ratio),
+    )

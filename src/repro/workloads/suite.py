@@ -1,0 +1,293 @@
+"""The Table-V workload suite: 17 applications as trace synthesizers.
+
+Scale note: Table V's "Max Mem." column is the paper-scale working set
+(1 - 16 GB).  Running reuse-distance analysis over multi-GB footprints in
+pure Python would make every test minutes long, so the *repo-scale*
+footprints below are shrunk by a constant factor while preserving every
+ratio the policies read (anon/file split, fragment ratio, sequential runs,
+hotness skew, reuse intensity).  ``scale=`` scales further in either
+direction; specs still carry the paper-scale ``max_mem_bytes``.
+
+Per-workload recipes (what the pattern models):
+
+* ``stream``   — STREAM triad: pure sequential passes, bandwidth-bound.
+* ``lpk``      — Linpack: blocked GEMM; hot panel reuse + sequential sweeps.
+* ``kmeans``   — sklearn K-means: per-iteration point scans (file-backed
+  input), tiny hot centroid block.
+* ``sort``     — std::sort: log-depth partition passes, store-heavy.
+* ``sp-pg``    — Spark PageRank: shuffle gathers over a fragmented heap,
+  file-backed RDD spill.
+* ``gg-pre``   — GridGraph preprocessing: stream edges, bucket to grid.
+* ``gg-bfs``   — GridGraph BFS: blockwise semi-sequential scans, half the
+  footprint file-backed (on-disk grid).
+* ``lg-*``     — Ligra BFS / BC / CC / MIS: the real CSR engine.
+* ``tf-*``     — TensorFlow CNN inference: layer weight streams.
+* ``bert``/``clip`` — encoder inference: weight streams + hot activations.
+* ``chat-int`` — ChatGLM int4 decode: full-model weight re-scan per token.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.schema import PageTrace
+from repro.units import gib, mib, usec
+from repro.workloads import ai, graph
+from repro.workloads.base import Workload, WorkloadCategory, WorkloadSpec
+from repro.workloads.generators import (
+    assemble,
+    fragment_footprint,
+    hot_cold_accesses,
+    phase_mix,
+    sequential_scan,
+    strided_scan,
+    zipf_accesses,
+)
+
+__all__ = [
+    "TABLE_V",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "swap_friendly_names",
+    "swap_sensitive_names",
+]
+
+
+def _scaled(base: int, scale: float, lo: int = 64) -> int:
+    return max(lo, int(base * scale))
+
+
+# --------------------------------------------------------------------------
+# Regular computing workloads
+# --------------------------------------------------------------------------
+def _stream(rng: np.random.Generator, scale: float) -> PageTrace:
+    pages = _scaled(16384, scale)
+    stream = sequential_scan(pages, passes=6)
+    return assemble(rng, stream, anon_ratio=0.97, store_ratio=0.4)
+
+
+def _lpk(rng: np.random.Generator, scale: float) -> PageTrace:
+    pages = _scaled(8192, scale)
+    panel = pages // 8
+    phases = []
+    for _ in range(4):  # blocked GEMM: sweep a panel, re-hit the hot block
+        phases.append(sequential_scan(panel, passes=1, start=0))
+        phases.append(hot_cold_accesses(rng, pages, panel * 2, hot_fraction=0.2, hot_probability=0.7))
+    return assemble(rng, phase_mix(phases), anon_ratio=0.95, store_ratio=0.3)
+
+
+def _kmeans(rng: np.random.Generator, scale: float) -> PageTrace:
+    pages = _scaled(8192, scale)
+    centroid_pages = max(8, pages // 256)
+    phases = []
+    for _ in range(6):  # iterations: scan all points, bounce on centroids
+        phases.append(sequential_scan(pages, passes=1))
+        phases.append(rng.integers(pages, pages + centroid_pages, size=pages // 2).astype(np.int64))
+    return assemble(rng, phase_mix(phases), anon_ratio=0.72, store_ratio=0.1)
+
+
+def _sort(rng: np.random.Generator, scale: float) -> PageTrace:
+    pages = _scaled(12288, scale)
+    phases = []
+    width = pages
+    while width >= 64:  # recursion levels: each level is a full pass in
+        # progressively smaller partitions, each walked with Hoare's
+        # two-pointer scheme (head and tail alternate -> no +1 runs)
+        n_parts = pages // width
+        for part in range(n_parts):
+            half = width // 2
+            inter = np.empty(half * 2, dtype=np.int64)
+            inter[0::2] = np.arange(half)
+            inter[1::2] = width - 1 - np.arange(half)
+            phases.append(part * width + inter)
+        width //= 4
+    return assemble(rng, phase_mix(phases), anon_ratio=0.99, store_ratio=0.5)
+
+
+def _sp_pg(rng: np.random.Generator, scale: float) -> PageTrace:
+    pages = _scaled(10240, scale)
+    phases = []
+    for _ in range(3):  # stages: shuffle-read (scattered), then write run
+        gathers = zipf_accesses(rng, pages, pages, alpha=1.2)
+        phases.append(fragment_footprint(rng, gathers, contiguous_fraction=0.45))
+        phases.append(sequential_scan(pages // 4, passes=1, start=pages * 4))
+    return assemble(rng, phase_mix(phases), anon_ratio=0.62, store_ratio=0.35)
+
+
+# --------------------------------------------------------------------------
+# Graph workloads (real CSR engine)
+# --------------------------------------------------------------------------
+def _graph_for(rng: np.random.Generator, scale: float) -> graph.CSRGraph:
+    n = _scaled(150000, scale, lo=2048)
+    return graph.powerlaw_csr(rng, n, avg_degree=10.0, alpha=1.6)
+
+
+def _gg_pre(rng: np.random.Generator, scale: float) -> PageTrace:
+    g = _graph_for(rng, scale)
+    mem = graph.GraphMemoryMap(g, n_state_arrays=8, scatter_sample=0.05, rng=rng)
+    pages = graph.preprocess_trace(g, n_partitions=8, mem=mem)
+    return assemble(rng, pages, anon_ratio=0.5, store_ratio=0.45)
+
+
+def _gg_bfs(rng: np.random.Generator, scale: float) -> PageTrace:
+    # GridGraph streams grid blocks: strided block order, random inside
+    pages_n = _scaled(16384, scale)
+    block = 256
+    phases = []
+    for sweep in range(2):
+        order = rng.permutation(pages_n // block)
+        for b in order[: len(order) // (sweep + 1)]:
+            start = int(b) * block
+            phases.append(sequential_scan(block // 4, passes=1, start=start))
+            phases.append(rng.integers(start, start + block, size=block // 2).astype(np.int64))
+    return assemble(rng, phase_mix(phases), anon_ratio=0.55, store_ratio=0.25)
+
+
+_LG_SAMPLE = {"bfs": 0.06, "bc": 0.03, "comp": 0.015, "mis": 0.04}
+
+
+def _lg(algo: str):
+    def synth(rng: np.random.Generator, scale: float) -> PageTrace:
+        g = _graph_for(rng, scale)
+        mem = graph.GraphMemoryMap(g, n_state_arrays=4, scatter_sample=_LG_SAMPLE[algo], rng=rng)
+        if algo == "bfs":
+            src = int(np.argmax(g.degrees()))  # start at a hub, as Ligra does
+            pages = graph.bfs_trace(g, source=src, mem=mem)
+        elif algo == "bc":
+            pages = graph.bc_trace(g, n_sources=2, rng=rng, mem=mem)
+        elif algo == "comp":
+            pages = graph.components_trace(g, max_rounds=6, mem=mem)
+        elif algo == "mis":
+            pages = graph.mis_trace(g, rng=rng, max_rounds=8, mem=mem)
+        else:  # pragma: no cover - guarded by suite construction
+            raise ConfigurationError(f"unknown ligra algo {algo!r}")
+        return assemble(rng, pages, anon_ratio=0.92, store_ratio=0.2)
+
+    return synth
+
+
+# --------------------------------------------------------------------------
+# AI inference workloads
+# --------------------------------------------------------------------------
+def _cnn_layers(n_layers: int, weight_pages: int, act_pages: int) -> list[ai.LayerSpec]:
+    return [ai.LayerSpec(weight_pages, act_pages) for _ in range(n_layers)]
+
+
+def _tf_infer(rng: np.random.Generator, scale: float) -> PageTrace:
+    layers = _cnn_layers(16, _scaled(192, scale, lo=8), _scaled(24, scale, lo=2))
+    pages = ai.cnn_inference_trace(rng, layers, batches=4, activation_reuse=3)
+    return assemble(rng, pages, anon_ratio=0.88, store_ratio=0.25)
+
+
+def _tf_incep(rng: np.random.Generator, scale: float) -> PageTrace:
+    layers = _cnn_layers(24, _scaled(160, scale, lo=8), _scaled(32, scale, lo=2))
+    pages = ai.cnn_inference_trace(rng, layers, batches=3, activation_reuse=4)
+    return assemble(rng, pages, anon_ratio=0.88, store_ratio=0.25)
+
+
+def _tf_tc(rng: np.random.Generator, scale: float) -> PageTrace:
+    # TextCNN: conv weight streams plus a scattered embedding table
+    layers = _cnn_layers(8, _scaled(128, scale, lo=8), _scaled(16, scale, lo=2))
+    conv = ai.cnn_inference_trace(rng, layers, batches=6, activation_reuse=2)
+    emb_base = int(conv.max()) + 1
+    emb = emb_base + rng.integers(0, _scaled(2048, scale, lo=64), size=conv.size // 8)
+    mixed = phase_mix([conv, emb.astype(np.int64)])
+    return assemble(rng, mixed, anon_ratio=0.85, store_ratio=0.2)
+
+
+def _bert(rng: np.random.Generator, scale: float) -> PageTrace:
+    # encoder: weights moderate, activations re-touched heavily per token;
+    # attention makes access jumpy -> fragmented effective pattern
+    layers = [ai.LayerSpec(_scaled(96, scale, lo=8), _scaled(48, scale, lo=4)) for _ in range(12)]
+    pages = ai.transformer_inference_trace(
+        rng, layers, tokens=6, embedding_pages=_scaled(1024, scale, lo=64),
+        embedding_lookups_per_token=48,
+    )
+    pages = fragment_footprint(rng, pages, contiguous_fraction=0.5)
+    return assemble(rng, pages, anon_ratio=0.9, store_ratio=0.15)
+
+
+def _clip(rng: np.random.Generator, scale: float) -> PageTrace:
+    # dual encoder: two weight streams + scattered cross-modal gathers
+    layers = [ai.LayerSpec(_scaled(112, scale, lo=8), _scaled(40, scale, lo=4)) for _ in range(14)]
+    stream_part = ai.transformer_inference_trace(
+        rng, layers, tokens=4, embedding_pages=_scaled(768, scale, lo=64),
+        embedding_lookups_per_token=32,
+    )
+    jump = zipf_accesses(rng, _scaled(4096, scale, lo=128), stream_part.size // 3, alpha=1.05,
+                         start=int(stream_part.max()) + 1)
+    pages = fragment_footprint(rng, phase_mix([stream_part, jump]), contiguous_fraction=0.45)
+    return assemble(rng, pages, anon_ratio=0.9, store_ratio=0.15)
+
+
+def _chat_int(rng: np.random.Generator, scale: float) -> PageTrace:
+    # int4 decode: the whole (large) weight set streams by every token
+    layers = [ai.LayerSpec(_scaled(640, scale, lo=16), _scaled(16, scale, lo=2)) for _ in range(28)]
+    pages = ai.transformer_inference_trace(
+        rng, layers, tokens=4, embedding_pages=_scaled(512, scale, lo=32),
+        embedding_lookups_per_token=8, kv_cache_pages_per_token=2,
+    )
+    return assemble(rng, pages, anon_ratio=0.93, store_ratio=0.08)
+
+
+# --------------------------------------------------------------------------
+# The suite
+# --------------------------------------------------------------------------
+def _spec(name, cat, desc, mem, feat, cpa, numa, par) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name, category=cat, description=desc, max_mem_bytes=mem,
+        swap_feature=feat, compute_per_access=cpa, numa_sensitivity=numa,
+        fault_parallelism=par,
+    )
+
+
+C, G, A = WorkloadCategory.COMPUTE, WorkloadCategory.GRAPH, WorkloadCategory.AI
+
+#: name -> Workload; order follows Table V. Columns of _spec:
+#: (name, category, description, paper max mem, paper S/F label,
+#:  compute seconds/access, NUMA sensitivity, fault parallelism)
+TABLE_V: dict[str, Workload] = {
+    w.spec.name: w
+    for w in [
+        Workload(_spec("stream", C, "STREAM memory bandwidth", gib(4), "S", usec(0.6), 0.95, 2), _stream),
+        Workload(_spec("lpk", C, "Linpack floating-point", gib(4), "S", usec(1.1), 0.40, 2), _lpk),
+        Workload(_spec("kmeans", C, "K-means clustering (sklearn)", gib(4), "S", usec(0.5), 0.50, 2), _kmeans),
+        Workload(_spec("sort", C, "Quicksort (c++ std)", gib(8), "S", usec(10.0), 0.30, 1), _sort),
+        Workload(_spec("sp-pg", C, "PageRank on Spark", gib(10), "S", usec(0.8), 0.30, 2), _sp_pg),
+        Workload(_spec("gg-pre", G, "Graph preprocess (GridGraph)", gib(16), "F", usec(0.5), 0.25, 6), _gg_pre),
+        Workload(_spec("gg-bfs", G, "BFS on GridGraph", gib(16), "S", usec(0.45), 0.45, 2), _gg_bfs),
+        Workload(_spec("lg-bfs", G, "BFS on Ligra", gib(16), "F", usec(0.6), 0.55, 16), _lg("bfs")),
+        Workload(_spec("lg-bc", G, "Betweenness centrality (Ligra)", gib(16), "F", usec(0.7), 0.55, 16), _lg("bc")),
+        Workload(_spec("lg-comp", G, "Connected components (Ligra)", gib(16), "F", usec(0.6), 0.50, 16), _lg("comp")),
+        Workload(_spec("lg-mis", G, "Maximal independent set (Ligra)", gib(16), "F", usec(0.65), 0.50, 16), _lg("mis")),
+        Workload(_spec("tf-infer", A, "ResNet inference (TensorFlow)", gib(1), "F", usec(1.5), 0.20, 8), _tf_infer),
+        Workload(_spec("tf-incep", A, "Inception inference (TensorFlow)", gib(1), "F", usec(1.3), 0.20, 8), _tf_incep),
+        Workload(_spec("tf-tc", A, "TextCNN classification", gib(10), "F", usec(1.0), 0.20, 8), _tf_tc),
+        Workload(_spec("bert", A, "BERT inference", int(gib(1) * 1.5), "S", usec(5.0), 0.25, 2), _bert),
+        Workload(_spec("clip", A, "CLIP inference", int(gib(1) * 1.7), "S", usec(4.0), 0.25, 2), _clip),
+        Workload(_spec("chat-int", A, "ChatGLM-6B int4 decode", gib(14), "F", usec(1.8), 0.15, 6), _chat_int),
+    ]
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(TABLE_V.keys())
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a Table-V workload by its abbreviation."""
+    try:
+        return TABLE_V[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+def swap_friendly_names() -> tuple[str, ...]:
+    """Workloads the paper labels swap-friendly (avg speedup >= 1.5x)."""
+    return tuple(n for n, w in TABLE_V.items() if w.spec.swap_feature == "F")
+
+
+def swap_sensitive_names() -> tuple[str, ...]:
+    """Workloads the paper labels swap-sensitive (avg speedup < 1.5x)."""
+    return tuple(n for n, w in TABLE_V.items() if w.spec.swap_feature == "S")

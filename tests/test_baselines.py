@@ -1,0 +1,73 @@
+"""Unit tests for the baseline system definitions."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    CANVAS,
+    FASTSWAP,
+    LINUX_SWAP,
+    NOFM,
+    TMO,
+    XMEMPOD,
+    baseline_by_name,
+)
+from repro.devices import BackendKind
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.swap import ChannelMode, PathType
+from repro.units import GB, gib, tib
+
+
+def test_table_iv_envelopes():
+    """Table IV: far memory type, max bandwidth, and FM size per system."""
+    assert LINUX_SWAP.max_bandwidth == pytest.approx(2 * GB)
+    assert LINUX_SWAP.fm_size == tib(2)
+    assert TMO.max_bandwidth == pytest.approx(7.9 * GB)
+    assert TMO.fm_size == tib(1)
+    assert FASTSWAP.max_bandwidth == pytest.approx(10 * GB)
+    assert FASTSWAP.fm_size == gib(256)
+    assert XMEMPOD.max_bandwidth == pytest.approx(10 * GB)
+    assert XMEMPOD.fm_size == tib(1)
+
+
+def test_backend_support_matrix():
+    """Table I: which backends each system can drive at all."""
+    assert LINUX_SWAP.supports(BackendKind.HDD)
+    assert LINUX_SWAP.supports(BackendKind.SSD)
+    assert not LINUX_SWAP.supports(BackendKind.RDMA)
+    assert FASTSWAP.supports(BackendKind.RDMA)
+    assert not FASTSWAP.supports(BackendKind.SSD)
+    assert TMO.supports(BackendKind.SSD)
+    assert XMEMPOD.supports(BackendKind.DRAM) and XMEMPOD.supports(BackendKind.RDMA)
+    assert not any(NOFM.supports(k) for k in BackendKind)
+
+
+def test_design_facts():
+    # block systems merge bios; frontswap systems cannot
+    assert LINUX_SWAP.merge_pages > 1 and TMO.merge_pages > 1
+    assert FASTSWAP.merge_pages == 1
+    # XMemPod is the hierarchical design
+    assert XMEMPOD.path is PathType.HIERARCHICAL
+    assert LINUX_SWAP.path is PathType.FLAT
+    # Canvas is the isolated-channel design; the rest share
+    assert CANVAS.channel is ChannelMode.ISOLATED
+    assert FASTSWAP.channel is ChannelMode.SHARED
+    # every baseline waits synchronously in the fault handler
+    assert all(b.synchronous_faults for b in ALL_BASELINES if b.backends)
+    # TMO's PSI controller offloads conservatively
+    assert TMO.offload_aggressiveness < 1.0
+
+
+def test_swap_config_construction():
+    cfg = FASTSWAP.swap_config(BackendKind.RDMA, co_tenants=2)
+    assert cfg.co_tenants == 2
+    assert cfg.channel is ChannelMode.SHARED
+    assert cfg.synchronous_faults
+    with pytest.raises(BackendUnavailableError):
+        FASTSWAP.swap_config(BackendKind.SSD)
+
+
+def test_lookup_by_name():
+    assert baseline_by_name("tmo") is TMO
+    with pytest.raises(ConfigurationError):
+        baseline_by_name("agile-paging")

@@ -1,0 +1,78 @@
+"""Unit tests for the CLI and result-table rendering."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.tables import ExperimentResult
+
+
+# ------------------------------------------------------------------ tables
+def test_result_render_and_csv():
+    res = ExperimentResult(
+        name="t", title="demo", headers=["a", "b"],
+        rows=[["x", 1.234], ["y", 0.000123]],
+        metrics={"m": 2.0}, notes="hello",
+    )
+    text = res.render()
+    assert "demo" in text and "m=2.00" in text and "hello" in text
+    csv = res.to_csv()
+    assert csv.splitlines()[0] == "a,b"
+    assert len(csv.splitlines()) == 3
+    assert res.column("a") == ["x", "y"]
+    with pytest.raises(ValueError):
+        res.column("zz")
+
+
+def test_result_number_formatting():
+    res = ExperimentResult("t", "d", ["v"], [[123456.0], [0.0001], [0.0], [12]])
+    text = res.to_csv()
+    assert "1.23e+05" in text
+    assert "0.0001" in text
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_run_single(capsys):
+    assert main(["run", "fig18", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig18" in out and "host-boot" in out
+
+
+def test_cli_run_csv(capsys):
+    assert main(["run", "fig03", "--scale", "0.1", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("generation,")
+
+
+def test_cli_workloads(capsys):
+    assert main(["workloads", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "chat-int" in out and "stream" in out
+
+
+# ------------------------------------------------------------------ runner
+def test_get_experiment_unknown():
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig100")
+
+
+def test_registry_ids_match_modules():
+    assert set(EXPERIMENTS) == {
+        "fig01b", "fig02b", "fig03", "fig04", "fig05", "fig08", "fig10_11",
+        "fig12", "table06", "fig14", "table07", "fig15", "fig16", "fig17",
+        "fig18", "fig19", "ablation", "cxl_study", "des_validation",
+        "online_study", "tier_study",
+    }

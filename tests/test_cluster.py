@@ -1,0 +1,238 @@
+"""Unit tests for cluster nodes, scheduler, traces, and the MBE metric."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterNode,
+    ClusterScheduler,
+    Task,
+    UtilizationTrace,
+    alibaba_like_trace,
+    mbe,
+    mbe_improvement_grid,
+)
+from repro.cluster.mbe import best_thresholds
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import gib
+
+
+# ---------------------------------------------------------------- node
+def test_node_admission_and_release():
+    n = ClusterNode("n0", fm_bytes=gib(16))
+    n.admit("t1", gib(8), gib(4))
+    assert n.memory_utilization == pytest.approx(8 / 64)
+    assert n.free_fm == gib(12)
+    n.release("t1", gib(8), gib(4))
+    assert n.used_local == 0 and n.used_fm == 0
+
+
+def test_node_rejects_overflow():
+    n = ClusterNode("n0")
+    with pytest.raises(CapacityError):
+        n.admit("big", gib(128))
+    with pytest.raises(CapacityError):
+        n.admit("fm", gib(1), gib(1))  # node has no FM
+
+
+def test_node_release_validates():
+    n = ClusterNode("n0")
+    with pytest.raises(ValueError):
+        n.release("ghost", gib(1))
+
+
+# ----------------------------------------------------------------- task
+def test_task_reservations():
+    t = Task("t", working_set=gib(10), compute_time=10.0, offload_ratio=0.6, runtime_factor=1.4)
+    assert t.local_bytes == pytest.approx(gib(4), rel=0.01)
+    assert t.fm_bytes == pytest.approx(gib(6), rel=0.01)
+    assert t.runtime == pytest.approx(14.0)
+
+
+def test_task_validation():
+    with pytest.raises(ConfigurationError):
+        Task("t", working_set=0, compute_time=1.0)
+    with pytest.raises(ConfigurationError):
+        Task("t", working_set=1, compute_time=1.0, offload_ratio=0.95)
+    with pytest.raises(ConfigurationError):
+        Task("t", working_set=1, compute_time=1.0, runtime_factor=0.9)
+
+
+# -------------------------------------------------------------- scheduler
+def test_scheduler_serializes_when_memory_bound():
+    node = ClusterNode("n0")
+    sched = ClusterScheduler([node])
+    tasks = [Task(f"t{i}", working_set=gib(40), compute_time=10.0) for i in range(3)]
+    sched.run(tasks)
+    assert sched.makespan == pytest.approx(30.0)  # one at a time
+    assert sched.throughput() == pytest.approx(0.1)
+
+
+def test_scheduler_offloading_raises_concurrency():
+    """The Fig 16 mechanism: offloading shrinks local footprints so more
+    tasks run at once; throughput rises despite the runtime inflation."""
+    base_node = ClusterNode("n0")
+    base = ClusterScheduler([base_node])
+    base.run([Task(f"t{i}", working_set=gib(40), compute_time=10.0) for i in range(4)])
+
+    fm_node = ClusterNode("n1", fm_bytes=gib(256))
+    fm = ClusterScheduler([fm_node])
+    fm.run([
+        Task(f"t{i}", working_set=gib(40), compute_time=10.0,
+             offload_ratio=0.75, runtime_factor=1.4)
+        for i in range(4)
+    ])
+    assert fm.throughput() > base.throughput() * 2
+
+
+def test_scheduler_rejects_impossible_task():
+    sched = ClusterScheduler([ClusterNode("n0")])
+    with pytest.raises(ConfigurationError):
+        sched.run([Task("huge", working_set=gib(100), compute_time=1.0)])
+
+
+def test_scheduler_needs_nodes():
+    with pytest.raises(ConfigurationError):
+        ClusterScheduler([])
+
+
+def test_scheduler_multi_node_spreads():
+    nodes = [ClusterNode(f"n{i}") for i in range(2)]
+    sched = ClusterScheduler(nodes)
+    sched.run([Task(f"t{i}", working_set=gib(40), compute_time=10.0) for i in range(2)])
+    assert sched.makespan == pytest.approx(10.0)
+    assert {r.node for r in sched.results} == {"n0", "n1"}
+
+
+# ------------------------------------------------------------ trace gen
+def test_alibaba_2017_mean_matches_paper():
+    tr = alibaba_like_trace(2017, n_machines=4000, n_snapshots=24)
+    assert tr.mean_utilization == pytest.approx(0.4895, abs=0.02)
+
+
+def test_alibaba_2018_mean_matches_paper():
+    tr = alibaba_like_trace(2018, n_machines=4000, n_snapshots=24)
+    assert tr.mean_utilization == pytest.approx(0.8705, abs=0.02)
+
+
+def test_trace_shape_and_validation():
+    tr = alibaba_like_trace(2017, n_machines=100, n_snapshots=5)
+    assert tr.n_machines == 100 and tr.n_snapshots == 5
+    assert tr.snapshot(0).shape == (100,)
+    with pytest.raises(ConfigurationError):
+        alibaba_like_trace(2019)
+    with pytest.raises(ConfigurationError):
+        UtilizationTrace("bad", np.array([[1.5]]))
+
+
+def test_trace_deterministic_per_seed():
+    a = alibaba_like_trace(2017, n_machines=50, n_snapshots=3, seed=1)
+    b = alibaba_like_trace(2017, n_machines=50, n_snapshots=3, seed=1)
+    c = alibaba_like_trace(2017, n_machines=50, n_snapshots=3, seed=2)
+    assert np.array_equal(a.utilization, b.utilization)
+    assert not np.array_equal(a.utilization, c.utilization)
+
+
+# ------------------------------------------------------------------ MBE
+def test_mbe_balanced_cluster_is_zero():
+    u = np.full(100, 0.5)
+    assert mbe(u, 0.4, 0.6) == 0.0
+
+
+def test_mbe_polarized_cluster_is_positive():
+    u = np.concatenate([np.full(50, 0.1), np.full(50, 0.9)])
+    assert mbe(u, 0.3, 0.7) > 0.0
+
+
+def test_mbe_capped_by_smaller_side():
+    """One idle machine cannot absorb fifty hot machines' pressure."""
+    mostly_hot = np.concatenate([np.full(1, 0.05), np.full(50, 0.95)])
+    mostly_idle = np.concatenate([np.full(50, 0.05), np.full(1, 0.95)])
+    alpha = beta = 0.5
+    assert mbe(mostly_hot, alpha, beta) == pytest.approx(mbe(mostly_idle, alpha, beta), rel=0.5)
+
+
+def test_mbe_validates():
+    with pytest.raises(ConfigurationError):
+        mbe(np.array([0.5]), 0.7, 0.3)
+    with pytest.raises(ConfigurationError):
+        mbe(np.array([]), 0.3, 0.7)
+
+
+def test_mbe_grid_masks_invalid_region():
+    u = np.linspace(0, 1, 50)
+    grid = mbe_improvement_grid(u, np.array([0.3, 0.6]), np.array([0.4, 0.7]))
+    assert np.isnan(grid[1, 0])  # beta 0.4 < alpha 0.6
+    assert not np.isnan(grid[0, 0])
+
+
+def test_best_thresholds_finds_argmax():
+    tr = alibaba_like_trace(2017, n_machines=500, n_snapshots=4)
+    alphas = np.linspace(0.1, 0.9, 9)
+    a, b, v = best_thresholds(tr.utilization, alphas, alphas)
+    assert v > 0.0
+    assert a <= b
+
+
+# ----------------------------------------------------------- memory pool
+def test_pool_matches_donors_to_borrowers():
+    from repro.cluster import RemoteMemoryPool
+
+    u = np.array([0.1, 0.2, 0.9, 0.95])
+    pool = RemoteMemoryPool(alpha=0.4, beta=0.7)
+    leases = pool.match(u)
+    assert leases
+    assert all(l.donor in (0, 1) and l.borrower in (2, 3) for l in leases)
+    balanced = pool.apply(u)
+    # borrowers shed down toward beta; donors rise toward alpha
+    assert balanced[2] <= 0.9 and balanced[3] <= 0.95
+    assert balanced[0] >= 0.1 and balanced[1] >= 0.2
+    assert balanced.sum() == pytest.approx(u.sum())  # memory is conserved
+
+
+def test_pool_fabric_limit_caps_transfers():
+    from repro.cluster import RemoteMemoryPool
+
+    u = np.array([0.0, 1.0])
+    pool = RemoteMemoryPool(alpha=0.5, beta=0.5, fabric_limit=0.1)
+    pool.match(u)
+    assert pool.total_leased == pytest.approx(0.1)
+
+
+def test_pool_realized_mbe_tracks_metric():
+    """The mechanism must deliver what the metric promises (when fabric
+    limits do not bind)."""
+    from repro.cluster import RemoteMemoryPool, alibaba_like_trace, mbe
+
+    tr = alibaba_like_trace(2017, n_machines=600, n_snapshots=1)
+    snap = tr.snapshot(0)
+    alpha = beta = 0.5
+    pool = RemoteMemoryPool(alpha, beta, fabric_limit=1.0)
+    pool.match(snap)
+    metric = mbe(snap, alpha, beta)
+    realized = pool.realized_mbe(tr.n_machines)
+    assert realized == pytest.approx(metric, rel=0.05)
+
+
+def test_pool_balanced_cluster_no_leases():
+    from repro.cluster import RemoteMemoryPool
+
+    pool = RemoteMemoryPool(alpha=0.3, beta=0.7)
+    assert pool.match(np.full(10, 0.5)) == []
+    assert pool.realized_mbe(10) == 0.0
+
+
+def test_pool_validates():
+    from repro.cluster import Lease, RemoteMemoryPool
+
+    with pytest.raises(ConfigurationError):
+        RemoteMemoryPool(alpha=0.8, beta=0.3)
+    with pytest.raises(ConfigurationError):
+        RemoteMemoryPool(alpha=0.3, beta=0.7, fabric_limit=0.0)
+    with pytest.raises(ConfigurationError):
+        Lease(borrower=1, donor=1, amount=0.1)
+    with pytest.raises(ConfigurationError):
+        Lease(borrower=1, donor=2, amount=0.0)
+    pool = RemoteMemoryPool(alpha=0.3, beta=0.7)
+    with pytest.raises(ConfigurationError):
+        pool.match(np.array([]))

@@ -1,0 +1,238 @@
+"""Unit tests for the smart console, MEI, and implicit switching."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BackendAvailability,
+    ImplicitSwitcher,
+    SmartConsole,
+    TunableLimits,
+    backend_priority,
+    mei_score,
+    xdm_config,
+)
+from repro.devices import FarDRAM, NVMeSSD, RDMANic
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.mem.numa_policy import NUMAPlacement
+from repro.simcore import Simulator
+from repro.trace import fuse
+from repro.units import HUGE_PAGE_SIZE, PAGE_SIZE
+from repro.workloads import get_workload
+from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def _seq_features(n=2048, passes=4):
+    rng = np.random.default_rng(1)
+    return fuse(assemble(rng, sequential_scan(n, passes=passes), anon_ratio=1.0))
+
+
+def _rand_features(n=2048, passes=4):
+    rng = np.random.default_rng(2)
+    return fuse(assemble(rng, zipf_accesses(rng, n, n * passes, alpha=1.05), anon_ratio=1.0))
+
+
+# -------------------------------------------------------------- tunables
+def test_limits_validate_table_iii():
+    lim = TunableLimits()
+    assert lim.validate_fm_ratio(0.9) == 0.9
+    with pytest.raises(ConfigurationError):
+        lim.validate_fm_ratio(0.91)
+    assert lim.validate_page_size(HUGE_PAGE_SIZE) == HUGE_PAGE_SIZE
+    with pytest.raises(ConfigurationError):
+        lim.validate_page_size(PAGE_SIZE // 2)
+    with pytest.raises(ConfigurationError):
+        lim.validate_io_width(0)
+
+
+def test_xdm_config_defaults():
+    cfg = xdm_config()
+    assert not cfg.synchronous_faults
+    assert cfg.merge_pages == 1
+    assert str(cfg.channel) == "vm-isolated"
+
+
+# ----------------------------------------------------------------- console
+def test_console_picks_large_granularity_for_sequential(sim):
+    console = SmartConsole()
+    d = console.configure(_seq_features(), RDMANic(sim), fault_parallelism=4, fm_ratio=0.5)
+    assert d.granularity >= 64 * PAGE_SIZE
+
+
+def test_console_keeps_small_granularity_for_random(sim):
+    console = SmartConsole()
+    d = console.configure(_rand_features(), RDMANic(sim), fault_parallelism=4, fm_ratio=0.5)
+    assert d.granularity <= 16 * PAGE_SIZE
+
+
+def test_console_auto_ratio_zero_for_cyclic_scan(sim):
+    """A cyclic sequential scan has no hot subset: the auto far-memory
+    ratio stays 0 (offloading would add misses without a protected core).
+    Fig 15-style offloading for such workloads is SLO-driven instead."""
+    console = SmartConsole()
+    d = console.configure(_seq_features(), RDMANic(sim), fault_parallelism=4)
+    assert d.fm_ratio == pytest.approx(0.0, abs=1e-6)
+    assert d.predicted.misses == 0
+
+
+def test_console_width_respects_parallelism(sim):
+    console = SmartConsole()
+    serial = console.configure(_rand_features(), NVMeSSD(sim), fault_parallelism=1)
+    parallel = console.configure(_rand_features(), NVMeSSD(sim), fault_parallelism=16)
+    assert parallel.io_width >= serial.io_width
+
+
+def test_console_numa_placement_by_sensitivity():
+    console = SmartConsole()
+    assert console.numa_placement(0.9) is NUMAPlacement.LOCAL_BIND
+    assert console.numa_placement(0.1) is NUMAPlacement.REMOTE_SPILL
+    with pytest.raises(ConfigurationError):
+        console.numa_placement(1.5)
+
+
+def test_console_auto_fm_ratio_respects_hot_set(sim):
+    """Hot-heavy workloads keep their hot set local (small fm ratio only
+    beyond it); the chosen ratio never exceeds Table III's 0.9."""
+    rng = np.random.default_rng(3)
+    hot = zipf_accesses(rng, 4096, 20000, alpha=1.6)
+    f = fuse(assemble(rng, hot, anon_ratio=1.0))
+    console = SmartConsole()
+    d = console.configure(f, RDMANic(sim))
+    assert 0.0 <= d.fm_ratio <= 0.9
+    assert d.local_pages >= f.min_local_pages(0.9) * 0.9
+
+
+def test_console_explicit_fm_ratio_validated(sim):
+    console = SmartConsole()
+    with pytest.raises(ConfigurationError):
+        console.configure(_seq_features(), RDMANic(sim), fm_ratio=0.95)
+
+
+def test_console_objective_validation(sim):
+    console = SmartConsole()
+    with pytest.raises(ConfigurationError):
+        console.configure(_seq_features(), RDMANic(sim), objective="latency_p99")
+
+
+def test_console_predicted_cost_matches_best(sim):
+    """The returned prediction must be the minimum over the search grid."""
+    console = SmartConsole()
+    f = _seq_features()
+    dev = RDMANic(sim)
+    d = console.configure(f, dev, fault_parallelism=4)
+    from repro.swap import SwapPathModel
+
+    model = SwapPathModel(dev, f, fault_parallelism=4)
+    for g in console.granularity_candidates(f):
+        for w in console.io_width_candidates(f, dev, 4):
+            alt = model.cost(d.local_pages, xdm_config(granularity=g, io_width=w))
+            assert d.predicted.sys_time <= alt.sys_time * 1.0001
+
+
+def test_console_slo_offload_monotone(sim):
+    """Fig 15's driver: looser SLO never shrinks the offload ratio."""
+    console = SmartConsole()
+    w = get_workload("lg-bfs")
+    f = w.features(scale=0.2)
+    compute = w.compute_time(scale=0.2)
+    ratios = []
+    for slo in (1.2, 1.4, 1.6, 1.8):
+        ratio, _ = console.max_offload_under_slo(
+            f, RDMANic(sim), compute, slo, fault_parallelism=16
+        )
+        ratios.append(ratio)
+    assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 0.0
+
+
+def test_console_slo_validation(sim):
+    console = SmartConsole()
+    with pytest.raises(ConfigurationError):
+        console.max_offload_under_slo(_seq_features(), RDMANic(sim), 1.0, slo=0.9)
+    with pytest.raises(ConfigurationError):
+        console.max_offload_under_slo(_seq_features(), RDMANic(sim), 0.0, slo=1.2)
+
+
+# --------------------------------------------------------------------- MEI
+def test_mei_score_definition():
+    assert mei_score(10.0, 5.0, 4.0) == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        mei_score(0.0, 1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        mei_score(1.0, 1.0, 0.0)
+
+
+def test_mei_prefers_cheap_backend_for_insensitive_tasks(sim):
+    """Fig 8: when SSD and RDMA runtimes are close, SSD (cheap) wins; when
+    RDMA is much faster, it wins despite its cost."""
+    ssd, rdma = NVMeSSD(sim), RDMANic(sim)
+    cfg = xdm_config(io_width=4)
+    # compute-bound task: swap time negligible either way -> SSD first
+    light = _seq_features(n=256, passes=2)
+    ranked = backend_priority(
+        light, compute_time=100.0, candidates={"ssd": (ssd, cfg), "rdma": (rdma, cfg)}
+    )
+    assert ranked[0][0] == "ssd"
+    # swap-bound random task: RDMA's latency advantage dominates
+    heavy = _rand_features(n=8192, passes=8)
+    ranked = backend_priority(
+        heavy, compute_time=0.001, candidates={"ssd": (ssd, cfg), "rdma": (rdma, cfg)},
+        fault_parallelism=8,
+    )
+    assert ranked[0][0] == "rdma"
+
+
+def test_backend_priority_requires_candidates():
+    with pytest.raises(ConfigurationError):
+        backend_priority(_seq_features(), 1.0, {})
+
+
+# ----------------------------------------------------------------- switcher
+def test_switcher_decides_and_respects_availability(sim):
+    devs = {
+        "ssd": (NVMeSSD(sim), xdm_config()),
+        "rdma": (RDMANic(sim), xdm_config()),
+        "dram": (FarDRAM(sim), xdm_config()),
+    }
+    sw = ImplicitSwitcher(devs)
+    f = _rand_features(n=8192, passes=8)
+    first = sw.decide("app", f, compute_time=0.001, fault_parallelism=8)
+    sw.availability[first].mark_down()
+    second = sw.decide("app", f, compute_time=0.001, fault_parallelism=8)
+    assert second != first
+    # all down -> error
+    for a in sw.availability.values():
+        a.mark_down()
+    with pytest.raises(BackendUnavailableError):
+        sw.decide("app", f, compute_time=0.001)
+
+
+def test_switcher_caches_and_invalidates(sim):
+    sw = ImplicitSwitcher({"ssd": (NVMeSSD(sim), xdm_config())})
+    f = _seq_features()
+    sw.decide("app", f, compute_time=1.0)
+    assert "app" in sw.priority_cache
+    sw.invalidate("app")
+    assert "app" not in sw.priority_cache
+    sw.decide("app", f, compute_time=1.0)
+    sw.invalidate()
+    assert not sw.priority_cache
+
+
+def test_switcher_requires_backends():
+    with pytest.raises(ConfigurationError):
+        ImplicitSwitcher({})
+
+
+def test_availability_toggles():
+    a = BackendAvailability("ssd")
+    assert a.available
+    a.mark_down()
+    assert not a.available
+    a.mark_up()
+    assert a.available

@@ -1,0 +1,101 @@
+"""Unit tests for online reconfiguration (EpochMonitor + OnlineController)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpochMonitor, OnlineController
+from repro.devices import RDMANic
+from repro.errors import ConfigurationError
+from repro.simcore import Simulator
+from repro.units import PAGE_SIZE
+from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
+
+
+@pytest.fixture()
+def controller():
+    sim = Simulator()
+    return OnlineController(RDMANic(sim), fault_parallelism=8)
+
+
+def _seq_trace(seed=0):
+    rng = np.random.default_rng(seed)
+    return assemble(rng, sequential_scan(4096, passes=4), anon_ratio=1.0)
+
+
+def _rand_trace(seed=1):
+    rng = np.random.default_rng(seed)
+    return assemble(rng, zipf_accesses(rng, 4096, 16000, alpha=1.05), anon_ratio=1.0)
+
+
+def test_monitor_window_and_epochs():
+    mon = EpochMonitor(window_records=65536)
+    mon.observe(_seq_trace())
+    f1 = mon.epoch_features()
+    assert mon.epochs == 1
+    assert f1.seq_access_ratio > 0.9
+
+
+def test_first_step_always_applies(controller):
+    mon = EpochMonitor()
+    mon.observe(_seq_trace())
+    event = controller.step(mon, fm_ratio=0.5)
+    assert event.applied
+    assert controller.current is not None
+    assert event.decision.granularity > PAGE_SIZE  # sequential -> big granules
+
+
+def test_phase_change_triggers_reconfiguration(controller):
+    mon = EpochMonitor()
+    mon.observe(_seq_trace())
+    controller.step(mon, fm_ratio=0.5)
+    g_seq = controller.current.granularity
+    mon2 = EpochMonitor()
+    mon2.observe(_rand_trace())
+    event = controller.step(mon2, fm_ratio=0.5)
+    assert event.applied
+    assert event.predicted_gain >= controller.gain_threshold
+    assert controller.current.granularity < g_seq  # shrank for random phase
+    assert controller.reconfigurations == 1
+
+
+def test_stable_phase_does_not_thrash(controller):
+    for seed in range(4):
+        mon = EpochMonitor()
+        mon.observe(_rand_trace(seed=seed))
+        controller.step(mon, fm_ratio=0.5)
+    # first step applies; identical behaviour afterwards never clears the gate
+    assert controller.reconfigurations == 0
+    assert len(controller.history) == 4
+
+
+def test_hysteresis_gate_blocks_marginal_gains():
+    sim = Simulator()
+    strict = OnlineController(RDMANic(sim), fault_parallelism=8, gain_threshold=500.0)
+    mon = EpochMonitor()
+    mon.observe(_seq_trace())
+    strict.step(mon, fm_ratio=0.5)
+    mon2 = EpochMonitor()
+    mon2.observe(_rand_trace())
+    event = strict.step(mon2, fm_ratio=0.5)
+    assert not event.applied  # gain exists but does not clear 500x
+    assert strict.current.granularity == event.decision.granularity
+
+
+def test_ratio_step_rate_limits_moves():
+    sim = Simulator()
+    ctl = OnlineController(RDMANic(sim), fault_parallelism=8, ratio_step=0.1)
+    mon = EpochMonitor()
+    mon.observe(_rand_trace())
+    ctl.step(mon, fm_ratio=0.2)
+    mon2 = EpochMonitor()
+    mon2.observe(_rand_trace(seed=7))
+    ctl.step(mon2, fm_ratio=0.8)  # wants +0.6 at once
+    assert ctl.current.fm_ratio <= 0.2 + 0.1 + 1e-9
+
+
+def test_controller_validates():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        OnlineController(RDMANic(sim), gain_threshold=0.5)
+    with pytest.raises(ConfigurationError):
+        OnlineController(RDMANic(sim), ratio_step=0.0)

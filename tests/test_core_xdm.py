@@ -1,0 +1,91 @@
+"""Integration tests for the XDMSystem facade and Algorithm 1."""
+
+import pytest
+
+from repro.core import XDMSystem, make_variant
+from repro.devices import BackendKind
+from repro.errors import DispatchError
+from repro.simcore import Simulator
+from repro.units import GB
+from repro.workloads import get_workload
+
+SCALE = 0.15  # keep traces small for CI speed
+
+
+@pytest.fixture(scope="module")
+def system():
+    sim = Simulator()
+    return XDMSystem(sim, warm_vms=2)
+
+
+def test_warm_pool_boots_with_backends(system):
+    free = system.hypervisor.free_vms()
+    assert len(free) == 2
+    assert all(vm.backend is not None for vm in free)
+    # the pool covers both backend kinds
+    assert {vm.backend for vm in free} == {"ssd", "rdma"}
+
+
+def test_dispatch_prefers_matching_free_vm(system):
+    w = get_workload("lg-bfs")
+    outcome = system.dispatch(w, scale=SCALE, fm_ratio=0.5)
+    assert outcome.how in ("free", "switched")
+    vm = system.hypervisor.vms[outcome.vm]
+    assert vm.backend == outcome.backend
+    assert w.name in vm.apps
+    vm.finish(w.name)
+
+
+def test_dispatch_colocates_on_online_vm(system):
+    sim = system.sim
+    w = get_workload("lg-comp")
+    first = system.dispatch(w, scale=SCALE, fm_ratio=0.5)
+    vm = system.hypervisor.vms[first.vm]
+    vm.max_apps = 2  # allow co-location for this test
+    second = system.dispatch(get_workload("lg-mis"), scale=SCALE, fm_ratio=0.5)
+    if second.backend == first.backend:
+        assert second.how == "online"
+        assert second.vm == first.vm
+    for outcome in (first, second):
+        system.hypervisor.vms[outcome.vm].finish(outcome.app)
+
+
+def test_dispatch_decision_carries_tuned_config(system):
+    w = get_workload("chat-int")
+    outcome = system.dispatch(w, scale=SCALE, fm_ratio=0.5)
+    d = outcome.decision
+    assert d.config.granularity >= 4096
+    assert d.predicted.misses >= 0
+    assert 0.0 <= d.fm_ratio <= 0.9
+    system.hypervisor.vms[outcome.vm].finish(w.name)
+
+
+def test_evaluate_returns_decision(system):
+    d = system.evaluate(get_workload("sort"), scale=SCALE, fm_ratio=0.5)
+    assert d.predicted.sys_time >= 0.0
+
+
+def test_variants_match_table_iv():
+    sim = Simulator()
+    ssd = make_variant("xdm-ssd", sim)
+    rdma = make_variant("xdm-rdma", sim)
+    hetero = make_variant("xdm-hetero", sim)
+    for v in (ssd, rdma, hetero):
+        assert v.max_bandwidth == pytest.approx(32 * GB, rel=0.05)
+    assert len(ssd.devices) == 4
+    assert len(rdma.devices) == 3
+    kinds = {type(d).__name__ for d in hetero.devices}
+    assert kinds == {"RDMANic", "NVMeSSD"}
+    assert hetero.fm_size > ssd.fm_size  # 1.3T vs 1T
+    with pytest.raises(DispatchError):
+        make_variant("xdm-hbm", sim)
+
+
+def test_variant_multipath_builds(system):
+    sim = Simulator()
+    v = make_variant("xdm-hetero", sim)
+    w = get_workload("lg-bfs")
+    mp = v.multipath(w.features(SCALE), fault_parallelism=16)
+    cost = mp.cost(max(1, w.features(SCALE).mrc.n_pages // 2))
+    assert cost.bytes_total > 0
+    assert len(mp.shares()) == 4

@@ -1,0 +1,157 @@
+"""Unit tests for the CSR graph engine and AI access models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import ai, graph
+
+
+@pytest.fixture()
+def g():
+    rng = np.random.default_rng(0)
+    return graph.powerlaw_csr(rng, 2000, avg_degree=8.0, alpha=1.6)
+
+
+# ----------------------------------------------------------------- builder
+def test_powerlaw_csr_structure(g):
+    assert g.n_vertices == 2000
+    assert g.n_edges >= 2000 * 8  # multinomial + min-degree floor
+    assert g.indptr[0] == 0 and g.indptr[-1] == g.n_edges
+    assert (np.diff(g.indptr) >= 1).all()  # min degree 1
+    assert g.indices.min() >= 0 and g.indices.max() < g.n_vertices
+
+
+def test_powerlaw_has_hubs(g):
+    deg = g.degrees()
+    assert deg.max() > 20 * deg.mean()  # heavy tail
+
+
+def test_powerlaw_validates():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        graph.powerlaw_csr(rng, 1)
+    with pytest.raises(ConfigurationError):
+        graph.powerlaw_csr(rng, 10, alpha=0.5)
+
+
+# ------------------------------------------------------------- memory map
+def test_memory_map_regions_are_disjoint(g):
+    mem = graph.GraphMemoryMap(g, n_state_arrays=3)
+    mem.touch_indptr(np.array([0, g.n_vertices - 1]))
+    mem.touch_edges_sweep()
+    mem.touch_state(np.array([0]), array_idx=0)
+    mem.touch_state(np.array([0]), array_idx=2)
+    trace = mem.trace()
+    assert trace.min() >= 0
+    assert trace.max() < mem.total_pages
+    # state arrays 0 and 2 map the same vertex to different pages
+    mem2 = graph.GraphMemoryMap(g, n_state_arrays=3)
+    mem2.touch_state(np.array([0]), array_idx=0)
+    mem2.touch_state(np.array([0]), array_idx=2)
+    a, b = mem2.trace()
+    assert a != b
+
+
+def test_memory_map_scatter_sampling(g):
+    rng = np.random.default_rng(1)
+    full = graph.GraphMemoryMap(g, scatter_sample=1.0, rng=rng)
+    full.touch_state(np.arange(2000), array_idx=0, dedup=False)
+    sampled = graph.GraphMemoryMap(g, scatter_sample=0.1, rng=np.random.default_rng(2))
+    sampled.touch_state(np.arange(2000), array_idx=0, dedup=False)
+    assert 0 < sampled.trace().size < full.trace().size * 0.3
+
+
+def test_memory_map_validates(g):
+    with pytest.raises(ConfigurationError):
+        graph.GraphMemoryMap(g, scatter_sample=0.0)
+    mem = graph.GraphMemoryMap(g, n_state_arrays=2)
+    with pytest.raises(ConfigurationError):
+        mem.touch_state(np.array([0]), array_idx=5)
+
+
+def test_touch_edges_collapses_duplicates(g):
+    mem = graph.GraphMemoryMap(g)
+    # two vertices whose edge ranges share a page produce no repeat
+    mem.touch_edges(g.indptr[:4], g.indptr[1:5])
+    pages = mem.trace()
+    assert (np.diff(pages) != 0).all()
+
+
+# ------------------------------------------------------------- algorithms
+def test_bfs_trace_nonempty_and_bounded(g):
+    mem = graph.GraphMemoryMap(g)
+    t = graph.bfs_trace(g, source=0, mem=mem)
+    assert t.size > 0
+    assert t.max() < mem.total_pages
+
+
+def test_pagerank_trace_scales_with_iterations(g):
+    t1 = graph.pagerank_trace(g, iterations=1)
+    t3 = graph.pagerank_trace(g, iterations=3)
+    assert t3.size > t1.size * 2
+    with pytest.raises(ConfigurationError):
+        graph.pagerank_trace(g, iterations=0)
+
+
+def test_components_trace_terminates(g):
+    t = graph.components_trace(g, max_rounds=50)
+    assert t.size > 0
+
+
+def test_bc_trace_sources(g):
+    rng = np.random.default_rng(3)
+    t1 = graph.bc_trace(g, n_sources=1, rng=rng)
+    t2 = graph.bc_trace(g, n_sources=3, rng=np.random.default_rng(3))
+    assert t2.size > t1.size
+    with pytest.raises(ConfigurationError):
+        graph.bc_trace(g, n_sources=0)
+
+
+def test_mis_trace_terminates(g):
+    t = graph.mis_trace(g, rng=np.random.default_rng(4), max_rounds=30)
+    assert t.size > 0
+
+
+def test_preprocess_trace_rereads_buffers(g):
+    """gg-pre's second pass makes preprocessing swap-relevant (re-references)."""
+    t = graph.preprocess_trace(g, n_partitions=4)
+    uniq, counts = np.unique(t, return_counts=True)
+    assert (counts > 1).mean() > 0.5  # most pages touched more than once
+    with pytest.raises(ConfigurationError):
+        graph.preprocess_trace(g, n_partitions=0)
+
+
+# --------------------------------------------------------------------- AI
+def test_layer_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ai.LayerSpec(0, 1)
+
+
+def test_cnn_trace_structure():
+    rng = np.random.default_rng(5)
+    layers = [ai.LayerSpec(32, 4) for _ in range(4)]
+    t = ai.cnn_inference_trace(rng, layers, batches=2, activation_reuse=2)
+    # weights each batch: 4*32; activations: 4*4*2; two batches
+    assert t.size == 2 * (4 * 32 + 4 * 4 * 2)
+    with pytest.raises(ConfigurationError):
+        ai.cnn_inference_trace(rng, layers, batches=0)
+
+
+def test_transformer_trace_rescans_weights_per_token():
+    rng = np.random.default_rng(6)
+    layers = [ai.LayerSpec(64, 2) for _ in range(3)]
+    t2 = ai.transformer_inference_trace(rng, layers, tokens=2, embedding_pages=16)
+    t4 = ai.transformer_inference_trace(rng, layers, tokens=4, embedding_pages=16)
+    # weight volume scales ~linearly with tokens (plus growing KV cache)
+    assert t4.size > t2.size * 1.8
+    with pytest.raises(ConfigurationError):
+        ai.transformer_inference_trace(rng, layers, tokens=0)
+
+
+def test_model_pages():
+    from repro.units import gib
+
+    assert ai.model_pages(gib(14)) == gib(14) // 4096
+    with pytest.raises(ConfigurationError):
+        ai.model_pages(0)

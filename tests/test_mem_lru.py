@@ -1,0 +1,162 @@
+"""Unit + property tests for LRU structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import ActiveInactiveLRU, LRUCache
+
+
+# ------------------------------------------------------------- LRUCache
+def test_lru_hit_and_miss():
+    c = LRUCache(2)
+    assert c.access("a") is False
+    assert c.access("a") is True
+    assert c.access("b") is False
+    assert c.access("a") is True
+    assert c.hits == 2 and c.misses == 2
+
+
+def test_lru_evicts_least_recent():
+    evicted = []
+    c = LRUCache(2, on_evict=evicted.append)
+    c.access("a")
+    c.access("b")
+    c.access("a")  # refresh a; b is now LRU
+    c.access("c")  # evicts b
+    assert evicted == ["b"]
+    assert "a" in c and "c" in c and "b" not in c
+
+
+def test_lru_discard():
+    c = LRUCache(2)
+    c.access("a")
+    assert c.discard("a") is True
+    assert c.discard("a") is False
+    assert len(c) == 0
+
+
+def test_lru_resize_shrink_returns_victims():
+    c = LRUCache(4)
+    for k in "abcd":
+        c.access(k)
+    victims = c.resize(2)
+    assert victims == ["a", "b"]
+    assert len(c) == 2
+
+
+def test_lru_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_lru_hit_rate():
+    c = LRUCache(8)
+    assert c.hit_rate == 0.0
+    c.access(1)
+    c.access(1)
+    assert c.hit_rate == pytest.approx(0.5)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_size_never_exceeds_capacity(trace, cap):
+    c = LRUCache(cap)
+    for p in trace:
+        c.access(p)
+        assert len(c) <= cap
+    assert c.hits + c.misses == len(trace)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_lru_inclusion_property(trace):
+    """A bigger LRU cache hits at least as often (LRU is a stack algorithm)."""
+    small, big = LRUCache(3), LRUCache(7)
+    for p in trace:
+        small.access(p)
+        big.access(p)
+    assert big.hits >= small.hits
+
+
+# ---------------------------------------------------- ActiveInactiveLRU
+def test_two_list_promotion_on_second_touch():
+    l = ActiveInactiveLRU(capacity=8)
+    l.access("a")
+    assert l.inactive_size == 1 and l.active_size == 0
+    l.access("a")
+    assert l.active_size == 1 and l.inactive_size == 0
+    assert l.promotions == 1
+
+
+def test_two_list_reclaims_inactive_first():
+    evicted = []
+    l = ActiveInactiveLRU(capacity=4, on_evict=evicted.append)
+    l.access("hot")
+    l.access("hot")  # promoted
+    for k in ("c1", "c2", "c3", "c4"):
+        l.access(k)
+    # 'hot' protected on active; the cold stream evicts among itself
+    assert "hot" not in evicted
+    assert len(l) <= 4
+
+
+def test_two_list_demotes_when_inactive_empty():
+    l = ActiveInactiveLRU(capacity=4, active_ratio=0.9)
+    for k in ("a", "b"):
+        l.access(k)
+        l.access(k)  # both promoted, inactive empty
+    for k in ("x", "y", "z"):
+        l.access(k)
+    assert len(l) <= 4
+    assert l.demotions >= 0  # machinery exercised without corruption
+
+
+def test_two_list_active_share_bounded():
+    l = ActiveInactiveLRU(capacity=10, active_ratio=0.3)
+    for k in range(10):
+        l.access(k)
+        l.access(k)
+    assert l.active_size <= max(1, int(10 * 0.3))
+
+
+def test_two_list_resize_shrinks():
+    l = ActiveInactiveLRU(capacity=8)
+    for k in range(8):
+        l.access(k)
+    l.resize(4)
+    assert len(l) <= 4
+
+
+def test_two_list_discard():
+    l = ActiveInactiveLRU(capacity=4)
+    l.access("a")
+    l.access("a")
+    l.access("b")
+    assert l.discard("a") is True   # from active
+    assert l.discard("b") is True   # from inactive
+    assert l.discard("zz") is False
+
+
+def test_two_list_validates():
+    with pytest.raises(ValueError):
+        ActiveInactiveLRU(capacity=1)
+    with pytest.raises(ValueError):
+        ActiveInactiveLRU(capacity=4, active_ratio=1.5)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=400),
+    st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_two_list_invariants(trace, cap):
+    l = ActiveInactiveLRU(capacity=cap)
+    for p in trace:
+        l.access(p)
+        assert len(l) <= cap
+        assert l.active_size + l.inactive_size == len(l)
+    assert l.hits + l.misses == len(trace)

@@ -1,0 +1,136 @@
+"""Unit + property tests for the online statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Histogram, OnlineStats, TimeSeries
+
+
+# ------------------------------------------------------------ OnlineStats
+def test_online_stats_basic():
+    s = OnlineStats()
+    for x in (1.0, 2.0, 3.0, 4.0):
+        s.add(x)
+    assert s.n == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.total == 10.0
+    assert len(s) == 4
+
+
+def test_online_stats_empty():
+    s = OnlineStats()
+    assert s.mean == 0.0 and s.variance == 0.0 and s.std == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False), min_size=2, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_online_stats_matches_numpy(xs):
+    s = OnlineStats()
+    for x in xs:
+        s.add(x)
+    assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+    assert s.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_online_stats_merge_equals_sequential(a, b):
+    left, right, seq = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in a:
+        left.add(x)
+        seq.add(x)
+    for x in b:
+        right.add(x)
+        seq.add(x)
+    left.merge(right)
+    assert left.n == seq.n
+    assert left.mean == pytest.approx(seq.mean, rel=1e-9, abs=1e-9)
+    assert left.variance == pytest.approx(seq.variance, rel=1e-6, abs=1e-6)
+    assert left.minimum == seq.minimum and left.maximum == seq.maximum
+
+
+def test_online_stats_merge_empty_cases():
+    a, b = OnlineStats(), OnlineStats()
+    a.add(1.0)
+    a.merge(b)  # merging empty: no-op
+    assert a.n == 1
+    b.merge(a)  # merging into empty: copy
+    assert b.n == 1 and b.mean == 1.0
+
+
+# --------------------------------------------------------------- Histogram
+def test_histogram_binning_and_percentiles():
+    h = Histogram(1e-6, 1.0, bins=32, log=True)
+    values = np.logspace(-5, -1, 1000)
+    h.add_many(values)
+    assert len(h) == 1000
+    p50 = h.percentile(50)
+    assert 1e-4 < p50 < 1e-2  # geometric middle of the range
+    assert h.percentile(0) <= p50 <= h.percentile(100)
+
+
+def test_histogram_under_overflow():
+    h = Histogram(1.0, 10.0, bins=4, log=False)
+    h.add(0.5)
+    h.add(50.0)
+    assert h.counts[0] == 1 and h.counts[-1] == 1
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(5.0, 1.0)
+    with pytest.raises(ValueError):
+        Histogram(1.0, 2.0, bins=0)
+    with pytest.raises(ValueError):
+        Histogram(0.0, 1.0, log=True)
+    h = Histogram(1.0, 2.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    assert h.percentile(50) == 0.0  # empty histogram
+
+
+def test_histogram_add_vs_add_many():
+    a = Histogram(1.0, 100.0, bins=16)
+    b = Histogram(1.0, 100.0, bins=16)
+    xs = np.linspace(2, 90, 57)
+    for x in xs:
+        a.add(float(x))
+    b.add_many(xs)
+    assert np.array_equal(a.counts, b.counts)
+
+
+# --------------------------------------------------------------- TimeSeries
+def test_timeseries_integral_and_mean():
+    ts = TimeSeries("util")
+    for t, v in ((0.0, 0.0), (1.0, 1.0), (2.0, 1.0)):
+        ts.record(t, v)
+    assert ts.integral() == pytest.approx(1.5)
+    assert ts.time_mean() == pytest.approx(0.75)
+    t, v = ts.arrays()
+    assert t.shape == (3,) and v.shape == (3,)
+
+
+def test_timeseries_rejects_time_travel():
+    ts = TimeSeries()
+    ts.record(1.0, 5.0)
+    with pytest.raises(ValueError):
+        ts.record(0.5, 5.0)
+
+
+def test_timeseries_degenerate():
+    ts = TimeSeries()
+    assert ts.integral() == 0.0
+    assert ts.time_mean() == 0.0
+    ts.record(1.0, 7.0)
+    assert ts.time_mean() == 7.0
+    assert len(ts) == 1

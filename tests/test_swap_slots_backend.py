@@ -1,0 +1,266 @@
+"""Unit tests for swap slots, backend modules, channels, and the frontend."""
+
+import pytest
+
+from repro.devices import BackendKind, NVMeSSD, RDMANic
+from repro.errors import (
+    BackendUnavailableError,
+    SlotExhaustedError,
+    SwapError,
+    SwitchInProgressError,
+)
+from repro.mem.page import PageKind
+from repro.simcore import Simulator
+from repro.swap import (
+    ChannelMode,
+    SwapChannel,
+    SwapFrontend,
+    SwapSlotAllocator,
+    build_backend_module,
+)
+from repro.units import PAGE_SIZE, mib
+
+
+# ------------------------------------------------------------------ slots
+def test_slots_lowest_first():
+    a = SwapSlotAllocator(4)
+    assert a.allocate() == 0
+    assert a.allocate() == 1
+    a.release(0)
+    assert a.allocate() == 0  # freed slots reused lowest-first
+
+
+def test_slots_exhaustion():
+    a = SwapSlotAllocator(2)
+    a.allocate()
+    a.allocate()
+    with pytest.raises(SlotExhaustedError):
+        a.allocate()
+
+
+def test_slots_run_allocation():
+    a = SwapSlotAllocator(8)
+    run = a.allocate_run(4)
+    assert run == [0, 1, 2, 3]
+    with pytest.raises(SlotExhaustedError):
+        a.allocate_run(5)
+
+
+def test_slots_release_validates():
+    a = SwapSlotAllocator(2)
+    with pytest.raises(ValueError):
+        a.release(0)
+
+
+def test_slots_for_bytes():
+    a = SwapSlotAllocator.for_bytes(mib(1))
+    assert a.n_slots == mib(1) // PAGE_SIZE
+    with pytest.raises(ValueError):
+        SwapSlotAllocator.for_bytes(100)
+
+
+def test_slots_accounting():
+    a = SwapSlotAllocator(4)
+    s = a.allocate()
+    assert a.used == 1 and a.free == 3
+    assert a.holds(s)
+    a.release(s)
+    assert a.used == 0 and not a.holds(s)
+
+
+# ---------------------------------------------------------------- channel
+def test_channel_modes_cost_factors():
+    sim = Simulator()
+    shared = SwapChannel(sim, ChannelMode.SHARED)
+    vmiso = SwapChannel(sim, ChannelMode.VM_ISOLATED)
+    iso = SwapChannel(sim, ChannelMode.ISOLATED)
+    assert vmiso.op_cost_factor() > 1.0
+    assert shared.op_cost_factor() == 1.0 and iso.op_cost_factor() == 1.0
+
+
+def test_channel_fault_inflation_only_when_shared():
+    sim = Simulator()
+    shared = SwapChannel(sim, ChannelMode.SHARED)
+    iso = SwapChannel(sim, ChannelMode.ISOLATED)
+    for ch in (shared, iso):
+        ch.attach("a")
+        ch.attach("b")
+    assert shared.fault_inflation() > 1.0
+    assert iso.fault_inflation() == 1.0
+    shared.detach("b")
+    assert shared.fault_inflation() == 1.0
+
+
+def test_channel_validates():
+    sim = Simulator()
+    with pytest.raises(Exception):
+        SwapChannel(sim, ChannelMode.SHARED, io_width=0)
+
+
+# ---------------------------------------------------------------- backend
+def test_backend_module_lifecycle():
+    sim = Simulator()
+    ssd = NVMeSSD(sim)
+    mod = build_backend_module(sim, BackendKind.SSD, ssd)
+    assert not mod.active
+    sim.run(until=mod.start())
+    assert mod.active
+    assert sim.now == pytest.approx(mod.start_cost)
+    sim.run(until=mod.stop())
+    assert not mod.active
+
+
+def test_backend_store_load_roundtrip():
+    sim = Simulator()
+    ssd = NVMeSSD(sim)
+    mod = build_backend_module(sim, BackendKind.SSD, ssd)
+    sim.run(until=mod.start())
+    sim.run(until=mod.store(42))
+    assert mod.holds(42)
+    assert mod.resident_pages == 1
+    sim.run(until=mod.load(42))
+    assert not mod.holds(42)
+    assert mod.pages_stored == 1 and mod.pages_loaded == 1
+
+
+def test_backend_rejects_inactive_io():
+    sim = Simulator()
+    mod = build_backend_module(sim, BackendKind.SSD, NVMeSSD(sim))
+    with pytest.raises(BackendUnavailableError):
+        mod.store(1)
+
+
+def test_backend_rejects_double_store_and_missing_load():
+    sim = Simulator()
+    mod = build_backend_module(sim, BackendKind.SSD, NVMeSSD(sim))
+    sim.run(until=mod.start())
+    sim.run(until=mod.store(1))
+    with pytest.raises(SwapError):
+        mod.store(1)
+    with pytest.raises(SwapError):
+        mod.load(2)
+
+
+def test_backend_stop_refuses_with_resident_pages():
+    sim = Simulator()
+    mod = build_backend_module(sim, BackendKind.SSD, NVMeSSD(sim))
+    sim.run(until=mod.start())
+    sim.run(until=mod.store(7))
+    with pytest.raises(SwapError):
+        sim.run(until=mod.stop())
+
+
+def test_backend_drain_migrates_pages():
+    sim = Simulator()
+    ssd_mod = build_backend_module(sim, BackendKind.SSD, NVMeSSD(sim))
+    rdma_mod = build_backend_module(sim, BackendKind.RDMA, RDMANic(sim))
+    sim.run(until=ssd_mod.start())
+    sim.run(until=rdma_mod.start())
+    for p in range(5):
+        sim.run(until=ssd_mod.store(p))
+    moved = sim.run(until=ssd_mod.drain_to(rdma_mod))
+    assert moved == 5
+    assert ssd_mod.resident_pages == 0
+    assert rdma_mod.resident_pages == 5
+
+
+def test_dram_module_slowest_to_start():
+    """Fig 18-b: DRAM backend start dominated by host allocation."""
+    sim = Simulator()
+    from repro.swap.backend import MODULE_START_COST
+
+    assert MODULE_START_COST[BackendKind.DRAM] == max(MODULE_START_COST.values())
+    # and every switch (stop + start) is under 5 seconds
+    from repro.swap.backend import MODULE_STOP_COST
+
+    for a in MODULE_STOP_COST:
+        for b in MODULE_START_COST:
+            assert MODULE_STOP_COST[a] + MODULE_START_COST[b] < 5.0
+
+
+# --------------------------------------------------------------- frontend
+def _frontend_with_two_backends(sim):
+    fe = SwapFrontend(sim)
+    ssd_mod = build_backend_module(sim, BackendKind.SSD, NVMeSSD(sim))
+    ssd_mod.name = "ssd"
+    rdma_mod = build_backend_module(sim, BackendKind.RDMA, RDMANic(sim))
+    rdma_mod.name = "rdma"
+    fe.register(ssd_mod)
+    fe.register(rdma_mod)
+    return fe
+
+
+def test_frontend_switch_and_store():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    assert fe.active_backend is None
+    sim.run(until=fe.switch_to("ssd"))
+    assert fe.active_backend == "ssd"
+    assert sim.run(until=fe.store_page(1)) is True
+    assert fe.swapped_out(1)
+
+
+def test_frontend_skips_file_backed_pages():
+    """Section IV-A1: the frontend skips file-backed page operations."""
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    sim.run(until=fe.switch_to("ssd"))
+    taken = sim.run(until=fe.store_page(9, kind=PageKind.FILE))
+    assert taken is False
+    assert fe.skipped_file_backed == 1
+    assert not fe.swapped_out(9)
+
+
+def test_frontend_lazy_migration_across_switch():
+    """Pages stored before a switch stay readable from their old backend."""
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    sim.run(until=fe.switch_to("ssd"))
+    sim.run(until=fe.store_page(1))
+    sim.run(until=fe.switch_to("rdma"))
+    sim.run(until=fe.store_page(2))
+    assert fe.module("ssd").holds(1)
+    assert fe.module("rdma").holds(2)
+    sim.run(until=fe.load_page(1))  # served by the old backend
+    assert not fe.swapped_out(1)
+    assert fe.loads == 1
+
+
+def test_frontend_switch_without_store_raises():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    with pytest.raises(BackendUnavailableError):
+        sim.run(until=fe.store_page(1))
+
+
+def test_frontend_unknown_backend():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    with pytest.raises(BackendUnavailableError):
+        fe.switch_to("nvlink")
+
+
+def test_frontend_duplicate_registration():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    with pytest.raises(BackendUnavailableError):
+        fe.register(fe.module("ssd"))
+
+
+def test_frontend_listening_queue_records_events():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    sim.run(until=fe.switch_to("ssd"))
+    sim.run(until=fe.store_page(5))
+    sim.run(until=fe.load_page(5))
+    assert len(fe.listening_queue) == 2
+    kind, page, backend = sim.run(until=fe.listening_queue.get())
+    assert (kind, page, backend) == ("stored", 5, "ssd")
+
+
+def test_frontend_load_unknown_page_raises():
+    sim = Simulator()
+    fe = _frontend_with_two_backends(sim)
+    sim.run(until=fe.switch_to("ssd"))
+    with pytest.raises(BackendUnavailableError):
+        sim.run(until=fe.load_page(404))

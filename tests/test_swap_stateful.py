@@ -1,0 +1,98 @@
+"""Stateful property tests of the swap machinery (hypothesis RuleBasedStateMachine).
+
+Random interleavings of store / load / switch / drain against a model of
+what the frontend *must* guarantee:
+
+* a page is never stored twice nor loaded when absent;
+* the union of backend swap maps equals the frontend's owner view;
+* slot accounting never leaks (used slots == resident pages per backend);
+* switching never loses pages (lazy migration keeps old pages readable).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.devices import BackendKind, NVMeSSD, RDMANic
+from repro.simcore import Simulator
+from repro.swap import SwapFrontend, build_backend_module
+
+PAGES = st.integers(min_value=0, max_value=40)
+BACKENDS = st.sampled_from(["ssd", "rdma"])
+
+
+class SwapFrontendMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fe = SwapFrontend(self.sim, name="stateful")
+        for name, (cls, kind) in {
+            "ssd": (NVMeSSD, BackendKind.SSD),
+            "rdma": (RDMANic, BackendKind.RDMA),
+        }.items():
+            mod = build_backend_module(self.sim, kind, cls(self.sim))
+            mod.name = name
+            self.fe.register(mod)
+        self.sim.run(until=self.fe.switch_to("ssd"))
+        self.model_out: dict[int, str] = {}  # page -> backend (reference model)
+
+    # ---------------------------------------------------------------- rules
+    @rule(backend=BACKENDS)
+    def switch(self, backend):
+        self.sim.run(until=self.fe.switch_to(backend))
+        assert self.fe.active_backend == backend
+
+    @rule(page=PAGES)
+    def store(self, page):
+        if page in self.model_out:
+            return  # model: page already in far memory; reclaim won't resend
+        taken = self.sim.run(until=self.fe.store_page(page))
+        assert taken is True
+        self.model_out[page] = self.fe.active_backend
+
+    @rule(page=PAGES)
+    def load(self, page):
+        if page not in self.model_out:
+            return
+        owner = self.model_out.pop(page)
+        assert self.fe.module(owner).holds(page)
+        self.sim.run(until=self.fe.load_page(page))
+        assert not self.fe.module(owner).holds(page)
+
+    @precondition(lambda self: self.fe.active_backend == "rdma")
+    @rule()
+    def drain_ssd_to_rdma(self):
+        ssd, rdma = self.fe.module("ssd"), self.fe.module("rdma")
+        if not (ssd.active and rdma.active and ssd.resident_pages):
+            return
+        self.sim.run(until=ssd.drain_to(rdma))
+        # reflect migration in frontend ownership + reference model
+        for page, owner in list(self.fe._owner.items()):
+            if owner == "ssd":
+                self.fe._owner[page] = "rdma"
+        for page, owner in list(self.model_out.items()):
+            if owner == "ssd":
+                self.model_out[page] = "rdma"
+
+    # ------------------------------------------------------------ invariants
+    @invariant()
+    def ownership_matches_backends(self):
+        for page, owner in self.model_out.items():
+            assert self.fe.swapped_out(page)
+            assert self.fe.module(owner).holds(page)
+
+    @invariant()
+    def slot_accounting_never_leaks(self):
+        for name in self.fe.backends:
+            mod = self.fe.module(name)
+            assert mod.slots.used == mod.resident_pages
+
+    @invariant()
+    def far_page_count_consistent(self):
+        assert self.fe.resident_far_pages == len(self.model_out)
+
+
+TestSwapFrontendStateful = SwapFrontendMachine.TestCase
+TestSwapFrontendStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,251 @@
+"""Unit + property tests for trace schema, collection, and analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.mem.page import PageKind, PageOp
+from repro.trace import (
+    PageTrace,
+    PageTraceTable,
+    access_histogram,
+    concat_traces,
+    footprint_segments,
+    fragment_ratio,
+    fuse,
+    hot_data_ratio,
+    load_ratio,
+    make_trace,
+    sequential_runs,
+    sequential_stats,
+)
+
+
+# ----------------------------------------------------------------- schema
+def test_make_trace_broadcasts_scalars():
+    t = make_trace(np.array([1, 2, 3]), ops=PageOp.STORE, kinds=PageKind.FILE)
+    assert len(t) == 3
+    assert (t.ops == PageOp.STORE).all()
+    assert (t.kinds == PageKind.FILE).all()
+
+
+def test_trace_is_readonly():
+    t = make_trace(np.array([1, 2]))
+    with pytest.raises(ValueError):
+        t.data["page"][0] = 99
+
+
+def test_trace_rejects_negative_pages():
+    with pytest.raises(TraceError):
+        make_trace(np.array([-1, 2]))
+
+
+def test_anon_ratio_and_filter():
+    kinds = np.array([PageKind.ANON, PageKind.FILE, PageKind.ANON, PageKind.FILE])
+    t = make_trace(np.array([0, 1, 2, 3]), kinds=kinds)
+    assert t.anon_ratio() == pytest.approx(0.5)
+    anon = t.anon_only()
+    assert len(anon) == 2
+    assert list(anon.pages) == [0, 2]
+
+
+def test_footprint_counts_distinct():
+    t = make_trace(np.array([5, 5, 7, 5, 9]))
+    assert t.footprint() == 3
+
+
+def test_concat_and_slice():
+    a = make_trace(np.array([0, 1]))
+    b = make_trace(np.array([2, 3]))
+    c = concat_traces([a, b])
+    assert list(c.pages) == [0, 1, 2, 3]
+    assert list(c.slice(1, 3).pages) == [1, 2]
+    assert len(concat_traces([])) == 0
+
+
+# ----------------------------------------------------------------- tracer
+def test_tracer_record_and_export():
+    tab = PageTraceTable()
+    for p in (3, 1, 4, 1, 5):
+        tab.record(p)
+    t = tab.export()
+    assert list(t.pages) == [3, 1, 4, 1, 5]
+    assert len(tab) == 5
+    assert tab.total_recorded == 5
+
+
+def test_tracer_record_block():
+    tab = PageTraceTable()
+    tab.record(0)
+    tab.record_block(make_trace(np.array([1, 2])))
+    assert list(tab.export().pages) == [0, 1, 2]
+
+
+def test_tracer_ring_buffer_drops_oldest():
+    tab = PageTraceTable(max_records=65536)
+    big = make_trace(np.arange(65536))
+    tab.record_block(big)
+    tab.record_block(make_trace(np.array([999999])))
+    assert tab.dropped == 65536
+    assert list(tab.export().pages) == [999999]
+
+
+def test_tracer_validates():
+    with pytest.raises(ValueError):
+        PageTraceTable(max_records=10)
+    tab = PageTraceTable()
+    with pytest.raises(TraceError):
+        tab.record(-5)
+
+
+def test_tracer_clear():
+    tab = PageTraceTable()
+    tab.record(1)
+    tab.clear()
+    assert len(tab) == 0
+    assert tab.total_recorded == 1
+
+
+def test_tracer_chunk_boundary():
+    tab = PageTraceTable()
+    n = 65536 + 10
+    for p in range(n):
+        tab.record(p)
+    assert len(tab) == n
+    assert list(tab.export().pages) == list(range(n))
+
+
+# --------------------------------------------------------------- analysis
+def test_footprint_segments_basic():
+    # footprint {1,2,3, 10, 20,21}
+    seg = footprint_segments(np.array([2, 1, 3, 10, 21, 20, 2]))
+    assert sorted(seg.tolist()) == [1, 2, 3]
+
+
+def test_footprint_segments_empty():
+    assert footprint_segments(np.array([], dtype=np.int64)).size == 0
+
+
+def test_fragment_ratio_contiguous_vs_scattered():
+    contiguous = np.arange(1000)
+    scattered = np.arange(1000) * 100
+    assert fragment_ratio(contiguous) == pytest.approx(1.0)
+    assert fragment_ratio(scattered) == pytest.approx(0.0)
+
+
+def test_fragment_ratio_mixed():
+    pages = np.concatenate([np.arange(64), np.array([1000, 2000, 3000, 4000])])
+    r = fragment_ratio(pages, min_segment_pages=16)
+    assert r == pytest.approx(64 / 68)
+
+
+def test_fragment_ratio_validates():
+    with pytest.raises(ValueError):
+        fragment_ratio(np.array([1]), min_segment_pages=0)
+
+
+def test_sequential_runs_detects_streams():
+    runs = sequential_runs(np.array([7, 8, 9, 3, 4, 100]))
+    assert runs.tolist() == [3, 2, 1]
+
+
+def test_sequential_stats_pure_patterns():
+    seq = sequential_stats(np.arange(100), min_run=8)
+    assert seq.seq_access_ratio == pytest.approx(1.0)
+    assert seq.max_run == 100
+    rnd = sequential_stats(np.array([5, 99, 3, 77, 1]), min_run=8)
+    assert rnd.seq_access_ratio == 0.0
+    assert rnd.max_run == 1
+
+
+def test_sequential_stats_empty():
+    s = sequential_stats(np.array([], dtype=np.int64))
+    assert s.seq_access_ratio == 0.0 and s.max_run == 0
+
+
+def test_access_histogram_sorted_descending():
+    h = access_histogram(np.array([1, 1, 1, 2, 2, 3]))
+    assert h.tolist() == [3, 2, 1]
+
+
+def test_hot_data_ratio_skewed_vs_uniform():
+    # one page takes 90 of 100 accesses
+    skewed = np.concatenate([np.zeros(90, dtype=np.int64), np.arange(1, 11)])
+    uniform = np.tile(np.arange(10), 10)
+    assert hot_data_ratio(skewed) < hot_data_ratio(uniform)
+    assert hot_data_ratio(uniform) == pytest.approx(0.8)
+
+
+def test_hot_data_ratio_validates():
+    with pytest.raises(ValueError):
+        hot_data_ratio(np.array([1]), coverage=0.0)
+    assert hot_data_ratio(np.array([], dtype=np.int64)) == 0.0
+
+
+def test_load_ratio():
+    ops = np.array([PageOp.LOAD, PageOp.LOAD, PageOp.STORE, PageOp.LOAD])
+    t = make_trace(np.arange(4), ops=ops)
+    assert load_ratio(t) == pytest.approx(0.75)
+
+
+# ------------------------------------------------------------------ fusion
+def test_fuse_sequential_anon_workload():
+    t = make_trace(np.tile(np.arange(256), 4))
+    f = fuse(t)
+    assert f.n_accesses == 1024
+    assert f.footprint_pages == 256
+    assert f.anon_ratio == 1.0
+    assert f.fragment_ratio == pytest.approx(1.0)
+    assert f.seq_access_ratio == pytest.approx(1.0)
+    assert f.reuse_intensity == pytest.approx(4.0)
+    # a 256-page cache holds the loop: only cold misses
+    assert f.mrc.misses(256) == 256
+
+
+def test_fuse_min_local_ratio_of_skewed_trace():
+    rng = np.random.default_rng(3)
+    hot = rng.integers(0, 50, size=9000)       # 50 hot pages
+    cold = rng.integers(50, 5000, size=1000)   # long cold tail
+    pages = np.concatenate([hot, cold])
+    rng.shuffle(pages)
+    f = fuse(make_trace(pages))
+    # keeping a small fraction local should capture ~90% of achievable hits
+    assert f.min_local_ratio(0.9) < 0.3
+
+
+def test_fuse_mrc_sees_only_anon_pages():
+    kinds = np.array([PageKind.ANON, PageKind.FILE] * 50)
+    t = make_trace(np.arange(100), kinds=kinds)
+    f = fuse(t)
+    assert f.mrc.n_pages == 50  # file-backed pages excluded
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_fuse_invariants(pages):
+    t = make_trace(np.asarray(pages, dtype=np.int64))
+    f = fuse(t)
+    assert 0.0 <= f.fragment_ratio <= 1.0
+    assert 0.0 <= f.seq_access_ratio <= 1.0
+    assert 0.0 <= f.hot_data_ratio <= 1.0
+    assert f.footprint_pages <= f.n_accesses
+    assert f.max_seq_run <= f.n_accesses
+    assert f.reuse_intensity >= 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_segments_partition_footprint(pages):
+    arr = np.asarray(pages, dtype=np.int64)
+    seg = footprint_segments(arr)
+    assert int(seg.sum()) == len(set(pages))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_runs_partition_accesses(pages):
+    arr = np.asarray(pages, dtype=np.int64)
+    runs = sequential_runs(arr)
+    assert int(runs.sum()) == arr.size

@@ -1,0 +1,101 @@
+"""Unit tests for unit helpers and deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.units import (
+    GB,
+    GBps,
+    HUGE_PAGE_SIZE,
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    PAGES_PER_HUGE_PAGE,
+    fmt_bw,
+    fmt_bytes,
+    fmt_time,
+    gib,
+    mib,
+    msec,
+    pages_to_bytes,
+    to_pages,
+    usec,
+)
+
+
+def test_size_constants_consistent():
+    assert MiB == 1024 * KiB
+    assert PAGE_SIZE == 4 * KiB
+    assert HUGE_PAGE_SIZE == 2 * MiB
+    assert PAGES_PER_HUGE_PAGE == 512
+
+
+def test_vendor_vs_binary_units():
+    # the classic 7% skew the module exists to avoid
+    assert gib(1) != GB
+    assert gib(1) / GB == pytest.approx(1.0737, abs=0.001)
+
+
+def test_bandwidth_and_time_helpers():
+    assert GBps(10) == 10e9
+    assert usec(3) == pytest.approx(3e-6)
+    assert msec(2) == pytest.approx(2e-3)
+
+
+def test_page_conversions():
+    assert to_pages(1) == 1
+    assert to_pages(PAGE_SIZE) == 1
+    assert to_pages(PAGE_SIZE + 1) == 2
+    assert to_pages(0) == 0
+    assert pages_to_bytes(3) == 3 * PAGE_SIZE
+    with pytest.raises(ValueError):
+        to_pages(-1)
+    with pytest.raises(ValueError):
+        to_pages(1, page_size=0)
+    with pytest.raises(ValueError):
+        pages_to_bytes(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+@settings(max_examples=50, deadline=None)
+def test_to_pages_roundtrip_bound(nbytes):
+    pages = to_pages(nbytes)
+    assert pages_to_bytes(pages) >= nbytes
+    assert pages_to_bytes(pages) - nbytes < PAGE_SIZE
+
+
+def test_formatters():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(mib(1)) == "1.0MiB"
+    assert fmt_bytes(gib(6)) == "6.0GiB"
+    assert fmt_bw(GBps(10)) == "10.00GB/s"
+    assert fmt_time(usec(5)) == "5.0us"
+    assert fmt_time(msec(2)) == "2.00ms"
+    assert fmt_time(1.5) == "1.500s"
+
+
+# ------------------------------------------------------------------- rng
+def test_derive_deterministic_and_keyed():
+    a = rng_mod.derive(1, "x").integers(0, 2**31, size=4)
+    b = rng_mod.derive(1, "x").integers(0, 2**31, size=4)
+    c = rng_mod.derive(1, "y").integers(0, 2**31, size=4)
+    d = rng_mod.derive(2, "x").integers(0, 2**31, size=4)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert not np.array_equal(a, d)
+
+
+def test_derive_default_seed():
+    a = rng_mod.derive(None, "k").random()
+    b = rng_mod.derive(rng_mod.DEFAULT_SEED, "k").random()
+    assert a == b
+
+
+def test_spawn_seed_is_64bit_stable():
+    s = rng_mod.spawn_seed(123, "stream/a")
+    assert 0 <= s < 2**64
+    assert s == rng_mod.spawn_seed(123, "stream/a")
+    assert s != rng_mod.spawn_seed(123, "stream/b")
