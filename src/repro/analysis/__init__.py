@@ -1,0 +1,31 @@
+"""simlint — determinism/units static analysis for the repro codebase.
+
+The simulator's core promises (keyed RNG streams, bit-stable event
+ordering, explicit units) live in docstrings; this package turns them
+into checked properties:
+
+* :mod:`repro.analysis.rules` — the rule set (DET*/UNIT*/SIM*/PY*).
+* :mod:`repro.analysis.engine` — file walking, dispatch, per-line
+  ``# simlint: ignore[RULE] -- reason`` suppressions.
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console script; also
+  mounted as ``python -m repro.cli lint``.
+
+The static pass is paired with a *runtime* sanitizer
+(:mod:`repro.simcore.sanitize`, enabled via ``REPRO_SANITIZE=1``) that
+checks the dynamic counterparts of the same invariants.
+"""
+
+from repro.analysis.engine import LintConfig, lint_file, lint_paths, lint_source
+from repro.analysis.findings import Finding, findings_to_json
+from repro.analysis.rules import RULES, rule_table
+
+__all__ = [
+    "Finding",
+    "findings_to_json",
+    "LintConfig",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "RULES",
+    "rule_table",
+]

@@ -1,0 +1,100 @@
+"""``repro-lint`` / ``python -m repro.cli lint`` — the simlint front end.
+
+Exit codes follow the classic lint contract:
+
+* ``0`` — no findings (clean, or everything suppressed with a reason)
+* ``1`` — findings reported
+* ``2`` — usage error (unknown rule id, missing path, bad arguments)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import LintConfig, lint_paths
+from repro.analysis.findings import findings_to_json
+from repro.analysis.rules import rule_table
+
+__all__ = ["main", "configure_parser", "run_from_args"]
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package tree — lintable from any cwd."""
+    import repro
+
+    return Path(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach lint arguments; shared by ``repro-lint`` and the ``lint`` subcommand."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default text)")
+    parser.add_argument("--select", action="append", default=[], metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", action="append", default=[], metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+
+
+def _split_ids(values: list[str]) -> frozenset[str]:
+    return frozenset(
+        part.strip().upper() for value in values for part in value.split(",") if part.strip()
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        for rule_id, title, rationale in rule_table():
+            print(f"{rule_id}  {title}\n        {rationale}")
+        return 0
+
+    select = _split_ids(args.select)
+    config = LintConfig(select=select or None, ignore=_split_ids(args.ignore))
+    unknown = config.unknown_ids()
+    if unknown:
+        print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or [_default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, config)
+    if args.format == "json":
+        print(json.dumps(findings_to_json(findings), indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="simlint: determinism/units static analysis for the repro package",
+    )
+    configure_parser(parser)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return int(exc.code or 0)
+    return run_from_args(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

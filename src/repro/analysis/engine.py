@@ -1,0 +1,112 @@
+"""The simlint driver: file discovery, rule dispatch, suppressions.
+
+Suppression syntax (per line, ruff-style)::
+
+    x = heapq.heappop(q)  # simlint: ignore[SIM001] -- slot free-list, not the event heap
+    y = something()       # simlint: ignore        -- silences every rule on the line
+
+A suppression applies to findings *reported on that physical line*.  The
+text after ``--`` is the required human-readable justification; the linter
+does not parse it, reviewers do.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, ModuleContext
+
+__all__ = ["LintConfig", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: ``# simlint: ignore`` or ``# simlint: ignore[DET001, UNIT001]``
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: Rule id for files the parser rejects (always reported, not selectable).
+SYNTAX_RULE = "E999"
+
+
+@dataclass
+class LintConfig:
+    """Which rules run: ``select`` keeps only those ids, ``ignore`` drops ids."""
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = field(default_factory=frozenset)
+
+    def active_rules(self) -> list[str]:
+        ids = list(RULES) if self.select is None else [r for r in RULES if r in self.select]
+        return [r for r in ids if r not in self.ignore]
+
+    def unknown_ids(self) -> list[str]:
+        """Rule ids in select/ignore that do not exist (a usage error)."""
+        mentioned = set(self.select or ()) | set(self.ignore)
+        return sorted(mentioned - set(RULES))
+
+
+def _suppressions(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
+    """line number -> suppressed rule ids (None = all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        if m.group(1) is None:
+            out[i] = None
+        else:
+            out[i] = frozenset(r.strip().upper() for r in m.group(1).split(",") if r.strip())
+    return out
+
+
+def lint_source(path: str, source: str, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one source string; ``path`` is used for display and exemptions."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        rule=SYNTAX_RULE, message=f"syntax error: {exc.msg}")]
+    ctx = ModuleContext(path, source, tree)
+    suppressed = _suppressions(ctx.lines)
+    findings: list[Finding] = []
+    for rule_id in config.active_rules():
+        rule = RULES[rule_id]
+        if rule.exempt(ctx):
+            continue
+        for finding in rule.check(ctx):
+            allow = suppressed.get(finding.line, frozenset())
+            if allow is None or finding.rule in allow:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(path: Path, display: str | None = None,
+              config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    return lint_source(display or str(path), path.read_text(encoding="utf-8"), config)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for cand in candidates:
+            if cand not in seen:
+                seen.add(cand)
+                yield cand
+
+
+def lint_paths(paths: Iterable[Path], config: LintConfig | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directory trees)."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file, config=config))
+    return findings

@@ -1,0 +1,33 @@
+"""Finding records produced by the simlint rule engine.
+
+A :class:`Finding` pins one rule violation to a file/line/column and is
+the unit everything downstream consumes: the text reporter, the JSON
+emitter (``--format=json``), the suppression filter, and the tests that
+assert on rule behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "findings_to_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str      #: file the violation lives in (as given to the linter)
+    line: int      #: 1-based line number
+    col: int       #: 0-based column offset (ast convention)
+    rule: str      #: rule id, e.g. ``"DET001"``
+    message: str   #: human-readable explanation with the offending snippet
+
+    def render(self) -> str:
+        """ruff/flake8-style one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def findings_to_json(findings: list[Finding]) -> list[dict]:
+    """JSON-serializable form: a list of plain dicts, one per finding."""
+    return [asdict(f) for f in findings]

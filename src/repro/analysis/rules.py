@@ -1,0 +1,441 @@
+"""The simlint rule set: repo-specific determinism/units/hygiene checks.
+
+Each rule turns one of the repository's docstring promises into a checked
+property:
+
+====== =====================================================================
+DET001 no unseeded randomness — all streams go through :func:`repro.rng.derive`
+DET002 no wall-clock reads in simulation code (``time.time`` & friends)
+DET003 no entropy sources (``os.urandom``, ``uuid.uuid4``, ``secrets``)
+UNIT001 no raw byte-size literals — use the :mod:`repro.units` constants
+UNIT002 no float ``==``/``!=`` comparisons on simulated time
+SIM001 no ``heapq`` use outside the engine's event heap
+SIM002 no reaching into engine internals (``_heap``/``_schedule``) from outside
+PY001  no mutable default arguments
+PY002  public modules declare ``__all__``
+====== =====================================================================
+
+Rules are single-file checks: each receives a parsed
+:class:`ModuleContext` and yields :class:`~repro.analysis.findings.Finding`
+objects.  Cross-file analysis is intentionally out of scope — the linter
+stays O(files) and embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePath
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleContext", "Rule", "RULES", "rule_table"]
+
+
+class ModuleContext:
+    """One parsed source file plus the import-alias map rules resolve against."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        # local name -> module path, from ``import X.Y as z`` / ``import X``
+        self.modules: dict[str, str] = {}
+        # local name -> (module, member), from ``from X import y as z``
+        self.members: dict[str, tuple[str, str]] = {}
+        self._scan_imports()
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, used for per-location exemptions."""
+        return PurePath(self.path).parts
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds the leaf
+                    self.modules[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.members[alias.asname or alias.name] = (node.module, alias.name)
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading import alias of a dotted name, if any.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` under
+        ``import numpy as np``; names with no matching alias are returned
+        unchanged.
+        """
+        head, _, rest = dotted.partition(".")
+        if head in self.members:
+            module, member = self.members[head]
+            full = f"{module}.{member}"
+        elif head in self.modules:
+            full = self.modules[head]
+        else:
+            return dotted
+        return f"{full}.{rest}" if rest else full
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement :meth:`check`."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        """Whole-file exemption (e.g. the module a constant is defined in)."""
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def _register(cls: type[Rule]) -> type[Rule]:
+    RULES[cls.id] = cls()
+    return cls
+
+
+def _imports_module(ctx: ModuleContext, target: str) -> Iterator[ast.stmt]:
+    """Yield import statements that bind ``target`` or one of its submodules."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == target or a.name.startswith(target + ".") for a in node.names):
+                yield node
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if node.module == target or node.module.startswith(target + "."):
+                yield node
+
+
+@_register
+class UnseededRandomness(Rule):
+    id = "DET001"
+    title = "no unseeded randomness"
+    rationale = (
+        "every stochastic draw must come from a keyed stream via repro.rng.derive; "
+        "stdlib random and module-level numpy.random calls break run-to-run "
+        "reproducibility and stream independence"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in _imports_module(ctx, "random"):
+            yield self.finding(
+                ctx, node, "stdlib `random` is unseeded/global; use repro.rng.derive"
+            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            full = ctx.resolve(dotted)
+            if full.startswith("numpy.random."):
+                yield self.finding(
+                    ctx, node,
+                    f"direct `{dotted}` call bypasses the keyed-stream discipline; "
+                    "obtain a Generator via repro.rng.derive(seed, key)",
+                )
+
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@_register
+class WallClock(Rule):
+    id = "DET002"
+    title = "no wall-clock reads"
+    rationale = (
+        "simulation results must depend only on the simulated clock (Simulator.now); "
+        "wall-clock reads make runs machine- and load-dependent"
+    )
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        return "benchmarks" in ctx.parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is not None and ctx.resolve(dotted) in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read `{dotted}` in simulation code; use the "
+                    "simulated clock (sim.now) or move timing into benchmarks/",
+                )
+
+
+_ENTROPY = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+@_register
+class EntropySource(Rule):
+    id = "DET003"
+    title = "no OS entropy sources"
+    rationale = (
+        "os.urandom / uuid4 / secrets produce fresh entropy per run, which can "
+        "never be replayed; identifiers must be derived from seeds or counters"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in _imports_module(ctx, "secrets"):
+            yield self.finding(ctx, node, "`secrets` is entropy by definition; derive ids from seeds")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            full = ctx.resolve(dotted)
+            if full in _ENTROPY or full.startswith("secrets."):
+                yield self.finding(
+                    ctx, node,
+                    f"entropy source `{dotted}` is unreplayable; derive from a seeded stream",
+                )
+
+
+#: Exact byte-size values that must be spelled via units.py constants.
+_SIZE_LITERALS = frozenset({
+    4096,                # PAGE_SIZE
+    1024 ** 2,           # MiB
+    2 * 1024 ** 2,       # HUGE_PAGE_SIZE
+    1024 ** 3,           # GiB
+    1024 ** 4,           # TiB
+})
+
+
+@_register
+class RawSizeLiteral(Rule):
+    id = "UNIT001"
+    title = "no raw byte-size literals"
+    rationale = (
+        "hand-spelled sizes are where the 7% GiB-vs-GB skew leaks in; "
+        "spell sizes with units.py constants (PAGE_SIZE, KiB, MiB, GiB, ...)"
+    )
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        # units.py is the one place the literals must exist; the analysis
+        # package manipulates size literals as rule data.
+        return (ctx.parts[-1] == "units.py" and "repro" in ctx.parts) or "analysis" in ctx.parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and type(node.value) is int \
+                    and node.value in _SIZE_LITERALS:
+                yield self.finding(
+                    ctx, node,
+                    f"raw size literal {node.value}; use the units.py constant "
+                    "(or suppress if this is a count, not bytes)",
+                )
+            elif isinstance(node, ast.BinOp):
+                yield from self._binop(ctx, node)
+
+    def _binop(self, ctx: ModuleContext, node: ast.BinOp) -> Iterator[Finding]:
+        def const(n: ast.expr) -> int | None:
+            return n.value if isinstance(n, ast.Constant) and type(n.value) is int else None
+
+        left, right = const(node.left), const(node.right)
+        # Base-2 exponents are limited to the byte-size ones: 2**64 bit
+        # masks and similar arithmetic are not sizes.
+        if isinstance(node.op, ast.Pow) and (
+            (left == 2 and right in (10, 20, 30, 40)) or (left == 1024 and (right or 0) >= 2)
+        ):
+            yield self.finding(ctx, node, f"size arithmetic `{left}**{right}`; use units.py constants")
+        elif isinstance(node.op, ast.LShift) and left == 1 and (right or 0) >= 10:
+            yield self.finding(ctx, node, f"size arithmetic `1 << {right}`; use units.py constants")
+        elif isinstance(node.op, ast.Mult) and (left in (1024, 4096) or right in (1024, 4096)):
+            lit = left if left in (1024, 4096) else right
+            yield self.finding(
+                ctx, node,
+                f"multiplication by raw size literal {lit}; use units.py constants",
+            )
+
+
+_TIME_NAMES = frozenset({"now", "t0", "t1", "deadline"})
+
+
+def _time_like(node: ast.expr) -> str | None:
+    """The identifier if ``node`` names a simulated-time quantity."""
+    name = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is not None and (name in _TIME_NAMES or name.endswith("time")):
+        return name
+    return None
+
+
+@_register
+class FloatTimeEquality(Rule):
+    id = "UNIT002"
+    title = "no float == on simulated time"
+    rationale = (
+        "the clock is float64; exact equality on accumulated times is "
+        "representation-dependent — compare with <=/>= or an epsilon"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                name = _time_like(lhs) or _time_like(rhs)
+                if name is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"float equality on simulated time `{name}`; "
+                        "use an ordering comparison or an epsilon",
+                    )
+
+
+@_register
+class HeapOutsideEngine(Rule):
+    id = "SIM001"
+    title = "no heapq outside the engine"
+    rationale = (
+        "bit-stable event ordering is owned by simcore/engine.py's (time, seq) "
+        "heap; other priority queues risk re-implementing ordering subtly wrong"
+    )
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        return ctx.parts[-2:] == ("simcore", "engine.py")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in _imports_module(ctx, "heapq"):
+            yield self.finding(
+                ctx, node,
+                "heap mutation outside simcore/engine.py; if this heap is not "
+                "the event queue, suppress with a one-line reason",
+            )
+
+
+_ENGINE_INTERNALS = frozenset({"_heap", "_schedule", "_seq"})
+
+
+@_register
+class EngineInternals(Rule):
+    id = "SIM002"
+    title = "no reaching into engine internals"
+    rationale = (
+        "the event heap and scheduling counter are private to the engine; "
+        "external mutation breaks the determinism contract silently"
+    )
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        return "simcore" in ctx.parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _ENGINE_INTERNALS:
+                yield self.finding(
+                    ctx, node,
+                    f"access to engine-internal attribute `{node.attr}` outside "
+                    "repro.simcore; use the public Simulator API",
+                )
+
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter"})
+
+
+@_register
+class MutableDefault(Rule):
+    id = "PY001"
+    title = "no mutable default arguments"
+    rationale = (
+        "a mutable default is shared across calls — state leaks between "
+        "supposedly independent simulations; default to None and build inside"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
+                if self._mutable(ctx, default):
+                    yield self.finding(
+                        ctx, default,
+                        "mutable default argument is shared across calls; "
+                        "use None and construct inside the function",
+                    )
+
+    @staticmethod
+    def _mutable(ctx: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            return dotted is not None and dotted.split(".")[-1] in _MUTABLE_CTORS
+        return False
+
+
+@_register
+class MissingDunderAll(Rule):
+    id = "PY002"
+    title = "public modules declare __all__"
+    rationale = (
+        "__all__ is the public-API contract reviewers and star-imports rely on; "
+        "modules without one grow accidental API surface"
+    )
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        # _private.py and __main__.py are not API surface; __init__.py is.
+        stem = ctx.parts[-1]
+        return stem.startswith("_") and stem != "__init__.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            if any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+                return
+        yield self.finding(
+            ctx, ctx.tree, "public module defines no __all__; declare its API surface"
+        )
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """(id, title, rationale) per rule, for ``--list-rules`` and the docs."""
+    return [(r.id, r.title, r.rationale) for r in RULES.values()]

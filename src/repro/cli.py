@@ -6,6 +6,7 @@ Subcommands::
     xdm-repro run table06 [--scale S] [--seed N] [--csv]
     xdm-repro run all                   # every experiment, text tables
     xdm-repro workloads                 # Table V with fused characteristics
+    xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import argparse
 import sys
 import time
 
+from repro.analysis import cli as lint_cli
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from repro.experiments.context import DEFAULT_SCALE
 from repro.workloads import TABLE_V
@@ -36,9 +38,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     ctx = ExperimentContext(scale=args.scale, seed=args.seed)
     for name in names:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # simlint: ignore[DET002] -- wall-time display for the operator, not simulation state
         result = run_experiment(name, ctx)
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # simlint: ignore[DET002] -- wall-time display for the operator, not simulation state
         if args.csv:
             print(result.to_csv())
         else:
@@ -82,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
     p_wl = sub.add_parser("workloads", help="show Table V workload characteristics")
     p_wl.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p_wl.set_defaults(func=_cmd_workloads)
+
+    p_lint = sub.add_parser("lint", help="run simlint static analysis over the package")
+    lint_cli.configure_parser(p_lint)
+    p_lint.set_defaults(func=lint_cli.run_from_args)
 
     args = parser.parse_args(argv)
     return args.func(args)

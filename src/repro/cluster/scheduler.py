@@ -10,7 +10,7 @@ throughput = completed tasks / makespan.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # simlint: ignore[SIM001] -- closed-form task-finish queue with its own (time, seq) tie-break, not the DES heap
 from dataclasses import dataclass, field
 
 from repro.cluster.node import ClusterNode

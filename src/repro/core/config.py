@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.swap.channel import ChannelMode
 from repro.swap.pathmodel import PathType, SwapConfig
-from repro.units import HUGE_PAGE_SIZE, KiB, PAGE_SIZE
+from repro.units import HUGE_PAGE_SIZE, KiB, MiB, PAGE_SIZE
 
 __all__ = ["TunableLimits", "XDM_DEFAULTS", "GRANULARITY_CANDIDATES", "xdm_config"]
 
@@ -69,7 +69,7 @@ GRANULARITY_CANDIDATES: tuple[int, ...] = (
     16 * KiB,
     64 * KiB,
     256 * KiB,
-    1024 * KiB,
+    1 * MiB,
     HUGE_PAGE_SIZE,
 )
 

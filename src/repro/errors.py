@@ -14,6 +14,7 @@ __all__ = [
     "CapacityError",
     "SimulationError",
     "DeadlockError",
+    "SanitizerError",
     "SwapError",
     "SlotExhaustedError",
     "BackendUnavailableError",
@@ -47,6 +48,16 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The event queue drained while processes were still blocked."""
+
+
+class SanitizerError(SimulationError):
+    """The runtime sanitizer (``REPRO_SANITIZE=1``) caught an invariant breach.
+
+    Raised only in sanitizer mode, for violations the production engine does
+    not police on the hot path: double-released resource grants, callbacks
+    registered on already-processed events, non-finite bandwidth state, and
+    page-conservation breaks in the swap executor.
+    """
 
 
 class SwapError(ReproError):

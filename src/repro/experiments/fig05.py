@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.devices import BackendKind
+from repro.rng import derive
 from repro.experiments.context import ExperimentContext
 from repro.experiments.tables import ExperimentResult
 from repro.swap import SwapConfig, SwapPathModel
@@ -31,7 +32,7 @@ _5B_WORKLOADS = ("lg-bfs", "sp-pg", "bert", "clip")
 
 
 def _fig5a_rows(ctx: ExperimentContext) -> tuple[list[list], dict[str, float]]:
-    rng = np.random.default_rng(5)
+    rng = derive(None, "experiments/fig05")
     rdma = ctx.device(BackendKind.RDMA)
     rows = []
     for label, frac in (("contiguous", 1.0), ("fragmented", 0.2)):

@@ -21,6 +21,7 @@ from repro.core import EpochMonitor, OnlineController
 from repro.devices import BackendKind
 from repro.experiments.context import ExperimentContext
 from repro.experiments.tables import ExperimentResult
+from repro.rng import derive
 from repro.swap import SwapPathModel
 from repro.trace import fuse
 from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
@@ -28,7 +29,7 @@ from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
 __all__ = ["run", "N_EPOCHS"]
 
 N_EPOCHS = 6
-_FOOTPRINT = 4096
+_FOOTPRINT = 4096  # simlint: ignore[UNIT001] -- footprint in pages (count), not bytes
 _PARALLELISM = 8
 FM_RATIO = 0.5
 
@@ -43,7 +44,7 @@ def _phase_trace(rng: np.random.Generator, epoch: int):
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
     """Total swap time per regime over the phased run."""
-    rng = np.random.default_rng(1234 if ctx.seed is None else ctx.seed)
+    rng = derive(ctx.seed, "experiments/online_study")
     device = ctx.device(BackendKind.RDMA)
     traces = [_phase_trace(rng, e) for e in range(N_EPOCHS)]
     feats = [fuse(t) for t in traces]

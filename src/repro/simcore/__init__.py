@@ -14,11 +14,14 @@ of the xDM reproduction:
   link (models a PCIe root complex shared by several far-memory backends).
 * :class:`~repro.simcore.stats.OnlineStats`/:class:`~repro.simcore.stats.Histogram`
   — cheap online metric collectors.
+* :mod:`~repro.simcore.sanitize` — the ``REPRO_SANITIZE=1`` runtime
+  sanitizer switch; violations raise :class:`~repro.errors.SanitizerError`.
 """
 
 from repro.simcore.engine import Event, Process, Simulator, Timeout
 from repro.simcore.resources import Resource, Store
 from repro.simcore.bandwidth import FairShareLink
+from repro.simcore.sanitize import REPRO_SANITIZE_VAR, sanitizer_enabled
 from repro.simcore.stats import Histogram, OnlineStats, TimeSeries
 
 __all__ = [
@@ -32,4 +35,6 @@ __all__ = [
     "OnlineStats",
     "Histogram",
     "TimeSeries",
+    "REPRO_SANITIZE_VAR",
+    "sanitizer_enabled",
 ]

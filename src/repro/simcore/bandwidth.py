@@ -13,7 +13,9 @@ change rather than per byte.
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+import math
+
+from repro.errors import SanitizerError, SimulationError
 from repro.simcore.engine import Event, Simulator
 
 __all__ = ["FairShareLink"]
@@ -65,8 +67,25 @@ class FairShareLink:
         return min(1.0, busy / elapsed)
 
     # -- internal fluid mechanics ----------------------------------------
+    def _sanitize_state(self) -> None:
+        """Sanitizer invariants: capacity and flow state are finite and sane."""
+        if not math.isfinite(self.bandwidth) or self.bandwidth <= 0:
+            raise SanitizerError(
+                f"link {self.name!r}: non-positive or non-finite bandwidth "
+                f"{self.bandwidth!r}"
+            )
+        for f in self._flows:
+            if not math.isfinite(f.weight) or f.weight <= 0:
+                raise SanitizerError(f"link {self.name!r}: illegal flow weight {f.weight!r}")
+            if not math.isfinite(f.remaining):
+                raise SanitizerError(
+                    f"link {self.name!r}: non-finite residual {f.remaining!r} bytes"
+                )
+
     def _advance(self) -> None:
         """Drain bytes for time elapsed since the last state change."""
+        if self.sim.sanitize:
+            self._sanitize_state()
         now = self.sim.now
         dt = now - self._last_update
         self._last_update = now
@@ -133,6 +152,12 @@ class FairShareLink:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if self.sim.sanitize and not (math.isfinite(nbytes) and math.isfinite(weight)):
+            # NaN slips past the sign checks and stalls the fluid model.
+            raise SanitizerError(
+                f"link {self.name!r}: non-finite transfer ({nbytes!r} bytes, "
+                f"weight {weight!r})"
+            )
         ev = Event(self.sim)
         if nbytes == 0:
             ev.succeed(None)

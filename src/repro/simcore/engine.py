@@ -7,6 +7,12 @@ with the event's value (or the event's exception is thrown into it).
 
 Determinism: events scheduled at the same timestamp fire in scheduling
 order (the monotone ``seq`` counter breaks ties), so runs are bit-stable.
+
+Sanitizer mode (``REPRO_SANITIZE=1`` or ``Simulator(sanitize=True)``)
+additionally enforces event-lifecycle legality: double-triggering an event
+and registering a callback on an already-processed event raise
+:class:`~repro.errors.SanitizerError` instead of misbehaving or being
+engine-policed only where cheap.
 """
 
 from __future__ import annotations
@@ -15,9 +21,24 @@ import heapq
 from collections.abc import Callable, Generator
 from typing import Any
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SanitizerError, SimulationError
+from repro.simcore.sanitize import sanitizer_enabled
 
 __all__ = ["Event", "Timeout", "Process", "Simulator"]
+
+
+class _DeadCallbacks(list):
+    """Sanitizer guard installed once an event's callbacks have run.
+
+    A callback appended after processing would silently never fire; in
+    sanitizer mode that is a lifecycle violation ("wait-after-processed").
+    """
+
+    def append(self, cb: Callable[["Event"], None]) -> None:
+        raise SanitizerError(
+            "wait-after-processed: callback registered on an already-processed "
+            "event would never run; check Event.processed before waiting"
+        )
 
 
 class Event:
@@ -59,7 +80,7 @@ class Event:
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Schedule this event to fire successfully after ``delay``."""
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise self._double_trigger()
         self._triggered = True
         self._value = value
         self.sim._schedule(self, delay)
@@ -68,7 +89,7 @@ class Event:
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         """Schedule this event to fire by raising ``exc`` in its waiters."""
         if self._triggered:
-            raise SimulationError("event already triggered")
+            raise self._double_trigger()
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
         self._triggered = True
@@ -76,9 +97,16 @@ class Event:
         self.sim._schedule(self, delay)
         return self
 
+    def _double_trigger(self) -> SimulationError:
+        cls = SanitizerError if self.sim.sanitize else SimulationError
+        return cls("event already triggered")
+
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks, self.callbacks = (
+            self.callbacks,
+            _DeadCallbacks() if self.sim.sanitize else [],
+        )
         for cb in callbacks:
             cb(self)
 
@@ -136,6 +164,10 @@ class Process(Event):
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
             if not self._triggered:
                 self.fail(exc)
+                if isinstance(exc, SanitizerError):
+                    # Sanitizer violations are fatal: surface them out of
+                    # sim.run() even when nothing waits on this process.
+                    raise
                 return
             raise
         if not isinstance(target, Event):
@@ -159,13 +191,27 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: owns the clock and the pending-event heap."""
+    """The event loop: owns the clock and the pending-event heap.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    sanitize:
+        ``True``/``False`` force sanitizer mode on/off; ``None`` (default)
+        reads the ``REPRO_SANITIZE`` environment variable.
+    event_log:
+        Optional list that :meth:`step` appends ``(time, seq, event-type)``
+        entries to — the determinism regression tests compare these logs
+        across seeded runs.
+    """
+
+    def __init__(self, sanitize: bool | None = None,
+                 event_log: list[tuple[float, int, str]] | None = None) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._active: int = 0  # events in the heap
+        self.sanitize: bool = sanitizer_enabled() if sanitize is None else bool(sanitize)
+        self.event_log = event_log
 
     @property
     def now(self) -> float:
@@ -239,10 +285,13 @@ class Simulator:
         """Fire the next event; returns the new clock value."""
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
+        when, seq, event = heapq.heappop(self._heap)
         self._active -= 1
         if when < self._now:
-            raise SimulationError(f"time ran backwards: {when} < {self._now}")
+            cls = SanitizerError if self.sanitize else SimulationError
+            raise cls(f"time ran backwards: {when} < {self._now}")
+        if self.event_log is not None:
+            self.event_log.append((when, seq, type(event).__name__))
         self._now = when
         event._run_callbacks()
         return self._now

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from repro.errors import SimulationError
+from repro.errors import SanitizerError, SimulationError
 from repro.simcore.engine import Event, Simulator
 
 __all__ = ["Resource", "Store"]
@@ -44,6 +44,8 @@ class Resource:
         self.total_grants = 0
         self.total_wait = 0.0
         self._enqueue_times: dict[int, float] = {}
+        # sanitizer mode: outstanding grant tokens, to catch double-release
+        self._granted: set[Event] = set()
 
     @property
     def in_use(self) -> int:
@@ -68,25 +70,48 @@ class Resource:
         """
         ev = Event(self.sim)
         if self._in_use < self.capacity and not self._queue:
-            self._in_use += 1
-            self.total_grants += 1
+            self._grant(ev)
             ev.succeed(ev)
         else:
             self._enqueue_times[id(ev)] = self.sim.now
             self._queue.append(ev)
         return ev
 
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self.total_grants += 1
+        if self.sim.sanitize:
+            self._granted.add(ev)
+
     def release(self, grant: Event) -> None:
         """Return the server obtained via ``grant`` to the pool."""
+        if self.sim.sanitize:
+            if grant not in self._granted:
+                raise SanitizerError(
+                    f"release of un-granted or already-released grant on "
+                    f"resource {self.name!r}"
+                )
+            self._granted.discard(grant)
         if self._in_use <= 0:
             raise SimulationError(f"release on idle resource {self.name!r}")
         self._in_use -= 1
         if self._queue:
             nxt = self._queue.popleft()
-            self._in_use += 1
-            self.total_grants += 1
+            self._grant(nxt)
             self.total_wait += self.sim.now - self._enqueue_times.pop(id(nxt))
             nxt.succeed(nxt)
+        if self.sim.sanitize:
+            self._check_occupancy()
+
+    def _check_occupancy(self) -> None:
+        """Sanitizer invariants: occupancy and wait-queue bookkeeping agree."""
+        if self._in_use < 0:
+            raise SanitizerError(f"resource {self.name!r}: negative occupancy {self._in_use}")
+        if len(self._queue) != len(self._enqueue_times):
+            raise SanitizerError(
+                f"resource {self.name!r}: wait-queue bookkeeping diverged "
+                f"({len(self._queue)} queued vs {len(self._enqueue_times)} stamps)"
+            )
 
     def resize(self, capacity: int) -> None:
         """Change the number of servers (the I/O-width tuning knob).
@@ -100,8 +125,7 @@ class Resource:
         self.capacity = capacity
         while self._queue and self._in_use < self.capacity:
             nxt = self._queue.popleft()
-            self._in_use += 1
-            self.total_grants += 1
+            self._grant(nxt)
             self.total_wait += self.sim.now - self._enqueue_times.pop(id(nxt))
             nxt.succeed(nxt)
 
@@ -146,6 +170,11 @@ class Store:
             ev.succeed(None)
         else:
             self._putters.append((ev, item))
+        if self.sim.sanitize and self.capacity is not None and len(self._items) > self.capacity:
+            raise SanitizerError(
+                f"store {self.name!r}: occupancy {len(self._items)} exceeds "
+                f"capacity {self.capacity}"
+            )
         return ev
 
     def get(self) -> Event:

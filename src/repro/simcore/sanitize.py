@@ -1,0 +1,43 @@
+"""The DES runtime sanitizer switch.
+
+The sanitizer is the dynamic counterpart of the simlint static pass: where
+simlint checks *source* for determinism/units hazards, the sanitizer checks
+*running simulations* for invariant breaches the engine does not police on
+the hot path:
+
+* heap-time monotonicity and event lifecycle legality (no double-trigger,
+  no waiting on an already-processed event) in :mod:`repro.simcore.engine`;
+* grant legality and non-negative occupancy in
+  :mod:`repro.simcore.resources`;
+* finite, positive bandwidth state in :mod:`repro.simcore.bandwidth`;
+* page conservation across swap-in/swap-out in :mod:`repro.swap.executor`.
+
+Enable it with ``REPRO_SANITIZE=1`` in the environment (checked at
+:class:`~repro.simcore.engine.Simulator` construction) or explicitly with
+``Simulator(sanitize=True)``.  Violations raise
+:class:`~repro.errors.SanitizerError`; with the sanitizer off the same
+breaches pass unchecked, exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["REPRO_SANITIZE_VAR", "sanitizer_enabled"]
+
+#: Environment variable that switches the sanitizer on.
+REPRO_SANITIZE_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitizer_enabled(default: bool = False) -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitizer mode.
+
+    Accepts ``1``/``true``/``yes``/``on`` (case-insensitive); anything else,
+    including unset, yields ``default``.
+    """
+    raw = os.environ.get(REPRO_SANITIZE_VAR)
+    if raw is None:
+        return default
+    return raw.strip().lower() in _TRUTHY

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.devices.base import FarMemoryDevice
 from repro.devices.registry import BackendKind
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SanitizerError
 from repro.mem.lru import ActiveInactiveLRU
 from repro.mem.page import PageKind, PageOp
 from repro.simcore import OnlineStats, Simulator
@@ -41,6 +41,9 @@ from repro.swap.pathmodel import FAULT_COST, SwapConfig
 from repro.trace.schema import PageTrace
 
 __all__ = ["SwapExecutionResult", "SwapExecutor"]
+
+#: Sanitizer mode checks page conservation every this-many accesses.
+_SANITIZE_STRIDE = 256
 
 
 @dataclass
@@ -157,8 +160,36 @@ class SwapExecutor:
                 )
                 res.swap_outs += 1
                 self._dirty.discard(victim)
+            if self.sim.sanitize and res.accesses % _SANITIZE_STRIDE == 0:
+                self.assert_page_conservation()
+        if self.sim.sanitize:
+            self.assert_page_conservation()
         res.sim_time = self.sim.now - start
         return res
+
+    # -- sanitizer -------------------------------------------------------------
+    def assert_page_conservation(self) -> None:
+        """Every touched anonymous page is resident, in far memory, or both.
+
+        A page that is neither was *lost* across a swap-in/swap-out cycle —
+        its data is gone even though the simulation keeps running.  Called
+        periodically in sanitizer mode (``REPRO_SANITIZE=1``), at a point
+        where the eviction queue has been drained.
+        """
+        if self._evicted:
+            raise SanitizerError(
+                f"page conservation checked with {len(self._evicted)} undrained "
+                "eviction victim(s); victims must be stored or dropped first"
+            )
+        lost = [
+            p for p in self._touched
+            if p not in self.lru and not self.frontend.swapped_out(p)
+        ]
+        if lost:
+            raise SanitizerError(
+                f"page conservation violated: {len(lost)} page(s) neither "
+                f"resident nor in far memory (first: {sorted(lost)[:5]})"
+            )
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -9,7 +9,7 @@ which is what lets block backends merge writes.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # simlint: ignore[SIM001] -- lowest-slot free-list, not the event queue; ordering is by slot id, not time
 
 from repro.errors import SlotExhaustedError
 from repro.units import PAGE_SIZE

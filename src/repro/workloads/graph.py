@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.rng import derive
 
 __all__ = [
     "CSRGraph",
@@ -119,7 +120,7 @@ class GraphMemoryMap:
             raise ConfigurationError(f"scatter_sample must be in (0,1], got {scatter_sample}")
         self.graph = graph
         self.scatter_sample = scatter_sample
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng if rng is not None else derive(None, "workloads/graph/mem")
         n, m = graph.n_vertices, graph.n_edges
         self._indptr_base = 0
         self._indptr_pages = -(-(n + 1) // _INDPTR_PER_PAGE)
@@ -288,7 +289,7 @@ def bc_trace(
     sweep over the same levels in reverse."""
     if n_sources < 1:
         raise ConfigurationError(f"n_sources must be >= 1, got {n_sources}")
-    rng = rng or np.random.default_rng(0)
+    rng = rng if rng is not None else derive(None, "workloads/graph/bc")
     mem = mem or GraphMemoryMap(g, n_state_arrays=4)
     n = g.n_vertices
     sources = rng.integers(0, n, size=n_sources)
@@ -321,7 +322,7 @@ def mis_trace(
 ) -> np.ndarray:
     """Luby's maximal independent set (lg-mis): random priorities, rounds of
     neighbor-priority comparisons."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng if rng is not None else derive(None, "workloads/graph/mis")
     mem = mem or GraphMemoryMap(g, n_state_arrays=3)
     n = g.n_vertices
     UNDECIDED, IN, OUT = 0, 1, 2

@@ -215,7 +215,7 @@ def _clip(rng: np.random.Generator, scale: float) -> PageTrace:
         rng, layers, tokens=4, embedding_pages=_scaled(768, scale, lo=64),
         embedding_lookups_per_token=32,
     )
-    jump = zipf_accesses(rng, _scaled(4096, scale, lo=128), stream_part.size // 3, alpha=1.05,
+    jump = zipf_accesses(rng, _scaled(4096, scale, lo=128), stream_part.size // 3, alpha=1.05,  # simlint: ignore[UNIT001] -- 4096 is a page-universe count, not bytes
                          start=int(stream_part.max()) + 1)
     pages = fragment_footprint(rng, phase_mix([stream_part, jump]), contiguous_fraction=0.45)
     return assemble(rng, pages, anon_ratio=0.9, store_ratio=0.15)

@@ -1,0 +1,14 @@
+"""Shared test plumbing: the ``sanitize`` marker.
+
+Tests marked ``@pytest.mark.sanitize`` run with ``REPRO_SANITIZE=1`` in the
+environment, so every :class:`~repro.simcore.Simulator` they construct
+comes up in sanitizer mode without touching the test body.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_marker(request, monkeypatch):
+    if request.node.get_closest_marker("sanitize"):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")

@@ -1,0 +1,101 @@
+"""CLI contract for ``repro-lint`` / ``python -m repro.cli lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  JSON output is a list of
+``{path, line, col, rule, message}`` objects.  The final test is the
+acceptance gate: the shipped package itself lints clean.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+CLEAN = '"""mod."""\n\n__all__ = ["x"]\n\nx = 1\n'
+DIRTY = '"""mod."""\n\n__all__ = ["q"]\n\nimport heapq\n\nq = []\n'
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    f = tmp_path / "clean.py"
+    f.write_text(CLEAN)
+    return f
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    f = tmp_path / "dirty.py"
+    f.write_text(DIRTY)
+    return f
+
+
+def test_exit_zero_on_clean_file(clean_file):
+    assert lint_main([str(clean_file)]) == 0
+
+
+def test_exit_one_on_findings(dirty_file, capsys):
+    assert lint_main([str(dirty_file)]) == 1
+    out = capsys.readouterr()
+    assert "SIM001" in out.out
+    assert "finding" in out.err
+
+
+def test_exit_two_on_unknown_rule(clean_file, capsys):
+    assert lint_main(["--select", "BOGUS1", str(clean_file)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "absent.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_exit_two_on_bad_flag(capsys):
+    assert lint_main(["--format", "yaml"]) == 2
+
+
+def test_json_output_schema(dirty_file, capsys):
+    assert lint_main(["--format", "json", str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and payload
+    for item in payload:
+        assert set(item) == {"path", "line", "col", "rule", "message"}
+        assert isinstance(item["line"], int) and item["line"] >= 1
+        assert isinstance(item["col"], int) and item["col"] >= 0
+        assert item["rule"] and item["message"]
+
+
+def test_json_output_empty_list_when_clean(clean_file, capsys):
+    assert lint_main(["--format", "json", str(clean_file)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_select_limits_rules(dirty_file):
+    assert lint_main(["--select", "DET001", str(dirty_file)]) == 0
+    assert lint_main(["--select", "SIM001,DET001", str(dirty_file)]) == 1
+
+
+def test_ignore_drops_rules(dirty_file):
+    assert lint_main(["--ignore", "SIM001", str(dirty_file)]) == 0
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "UNIT001", "UNIT002", "SIM001", "PY001", "PY002"):
+        assert rule_id in out
+
+
+def test_directory_target(tmp_path, dirty_file):
+    assert lint_main([str(tmp_path)]) == 1
+
+
+def test_mounted_as_repro_cli_subcommand(dirty_file, clean_file):
+    assert repro_main(["lint", str(dirty_file)]) == 1
+    assert repro_main(["lint", str(clean_file)]) == 0
+
+
+def test_repo_lints_clean():
+    """Acceptance gate: the shipped repro package has zero findings."""
+    assert lint_main([]) == 0

@@ -1,0 +1,177 @@
+"""Per-rule fixtures for the simlint static-analysis pass.
+
+Every rule gets at least one snippet that triggers it and one that does
+not; exemption paths (units.py, simcore/engine.py, benchmarks/) and the
+``# simlint: ignore`` suppression machinery are covered separately.
+"""
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+from repro.analysis.engine import SYNTAX_RULE
+from repro.analysis.rules import RULES
+
+
+def run_rule(rule, source, path="pkg/mod.py"):
+    """Findings of one rule over a snippet (other rules masked off)."""
+    return lint_source(path, source, LintConfig(select=frozenset({rule})))
+
+
+# (rule, snippet, should_flag)
+CASES = [
+    # DET001 — unseeded randomness
+    ("DET001", "import random\n", True),
+    ("DET001", "from random import choice\n", True),
+    ("DET001", "import numpy as np\nrng = np.random.default_rng()\n", True),
+    ("DET001", "import numpy as np\nx = np.random.randint(4)\n", True),
+    ("DET001", "from numpy.random import default_rng\nr = default_rng(3)\n", True),
+    ("DET001", "from numpy import random\nx = random.random()\n", True),
+    ("DET001", "from repro.rng import derive\nrng = derive(0, 'k')\nx = rng.integers(5)\n", False),
+    ("DET001", "import numpy as np\nx = np.arange(5)\n", False),
+    # DET002 — wall-clock reads
+    ("DET002", "import time\nt = time.time()\n", True),
+    ("DET002", "from time import perf_counter\nt = perf_counter()\n", True),
+    ("DET002", "from datetime import datetime\nd = datetime.now()\n", True),
+    ("DET002", "import datetime\nd = datetime.datetime.utcnow()\n", True),
+    ("DET002", "t = sim.now\n", False),
+    ("DET002", "import time\ntime.sleep(0)\n", False),
+    # DET003 — entropy sources
+    ("DET003", "import os\nx = os.urandom(8)\n", True),
+    ("DET003", "import uuid\nx = uuid.uuid4()\n", True),
+    ("DET003", "import secrets\n", True),
+    ("DET003", "import uuid\nx = uuid.uuid5(ns, 'name')\n", False),
+    # UNIT001 — raw size literals
+    ("UNIT001", "x = 4096\n", True),
+    ("UNIT001", "x = 1 << 30\n", True),
+    ("UNIT001", "x = 1024 ** 2\n", True),
+    ("UNIT001", "x = 2 ** 20\n", True),
+    ("UNIT001", "cap = 64 * 1024\n", True),
+    ("UNIT001", "from repro.units import PAGE_SIZE\nx = PAGE_SIZE\n", False),
+    ("UNIT001", "mask = 2 ** 64 - 1\n", False),
+    ("UNIT001", "n = 1000\n", False),
+    # UNIT002 — float equality on simulated time
+    ("UNIT002", "ok = sim.now == 0.0\n", True),
+    ("UNIT002", "ok = res.sim_time != 3.5\n", True),
+    ("UNIT002", "ok = t0 == t1\n", True),
+    ("UNIT002", "done = count == 0\n", False),
+    ("UNIT002", "later = sim.now >= deadline\n", False),
+    # SIM001 — heapq outside the engine
+    ("SIM001", "import heapq\n", True),
+    ("SIM001", "from heapq import heappush\n", True),
+    ("SIM001", "from collections import deque\n", False),
+    # SIM002 — engine internals
+    ("SIM002", "sim._heap.append(x)\n", True),
+    ("SIM002", "sim._schedule(ev, 0.0)\n", True),
+    ("SIM002", "t = sim.now\n", False),
+    # PY001 — mutable defaults
+    ("PY001", "def f(x=[]):\n    pass\n", True),
+    ("PY001", "def f(x={}):\n    pass\n", True),
+    ("PY001", "def f(*, x=set()):\n    pass\n", True),
+    ("PY001", "def f(x=dict()):\n    pass\n", True),
+    ("PY001", "def f(x=None):\n    pass\n", False),
+    ("PY001", "def f(x=()):\n    pass\n", False),
+]
+
+
+@pytest.mark.parametrize("rule,source,should_flag", CASES)
+def test_rule_cases(rule, source, should_flag):
+    findings = run_rule(rule, source)
+    if should_flag:
+        assert findings, f"{rule} should flag: {source!r}"
+        assert all(f.rule == rule for f in findings)
+    else:
+        assert not findings, f"{rule} should not flag: {source!r} -> {findings}"
+
+
+# -- PY002 needs whole-module framing ------------------------------------
+
+def test_py002_missing_all_flagged():
+    assert run_rule("PY002", "x = 1\n")
+
+
+def test_py002_present_all_clean():
+    assert not run_rule("PY002", "__all__ = ['x']\nx = 1\n")
+
+
+def test_py002_private_and_main_exempt():
+    assert not run_rule("PY002", "x = 1\n", path="pkg/_private.py")
+    assert not run_rule("PY002", "x = 1\n", path="pkg/__main__.py")
+
+
+def test_py002_init_is_required():
+    assert run_rule("PY002", "x = 1\n", path="pkg/__init__.py")
+
+
+# -- location exemptions --------------------------------------------------
+
+def test_unit001_exempt_in_units_py():
+    assert not run_rule("UNIT001", "KiB = 1024\nMiB = 1024 ** 2\n", path="src/repro/units.py")
+
+
+def test_sim001_exempt_in_engine():
+    assert not run_rule("SIM001", "import heapq\n", path="src/repro/simcore/engine.py")
+
+
+def test_sim002_exempt_inside_simcore():
+    assert not run_rule("SIM002", "self._heap.clear()\n", path="src/repro/simcore/resources.py")
+
+
+def test_det002_exempt_in_benchmarks():
+    assert not run_rule("DET002", "import time\nt = time.time()\n",
+                        path="benchmarks/test_bench_x.py")
+
+
+# -- suppressions ----------------------------------------------------------
+
+def test_suppression_silences_named_rule():
+    src = "import heapq  # simlint: ignore[SIM001] -- private free-list\n"
+    assert not run_rule("SIM001", src)
+
+
+def test_suppression_is_rule_specific():
+    src = "import heapq  # simlint: ignore[DET001] -- wrong id\n"
+    assert run_rule("SIM001", src)
+
+
+def test_bare_suppression_silences_everything():
+    src = "import heapq, random  # simlint: ignore -- fixture\n"
+    cfg = LintConfig()
+    assert not lint_source("pkg/mod.py", "__all__ = []\n" + src, cfg)
+
+
+def test_suppression_only_applies_to_its_line():
+    src = "import heapq  # simlint: ignore[SIM001] -- ok here\nfrom heapq import heappop\n"
+    findings = run_rule("SIM001", src)
+    assert [f.line for f in findings] == [2]
+
+
+# -- engine-level behaviour ------------------------------------------------
+
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("pkg/broken.py", "def broken(:\n")
+    assert len(findings) == 1 and findings[0].rule == SYNTAX_RULE
+
+
+def test_ignore_config_drops_rule():
+    src = "import heapq\n"
+    cfg = LintConfig(select=frozenset({"SIM001"}), ignore=frozenset({"SIM001"}))
+    assert not lint_source("pkg/mod.py", src, cfg)
+
+
+def test_unknown_rule_ids_detected():
+    cfg = LintConfig(select=frozenset({"NOPE99"}))
+    assert cfg.unknown_ids() == ["NOPE99"]
+
+
+def test_every_rule_has_metadata():
+    for rule_id, rule in RULES.items():
+        assert rule.id == rule_id
+        assert rule.title and rule.rationale
+
+
+def test_findings_are_sorted_and_located():
+    src = "import heapq\nimport random\n"
+    findings = lint_source("pkg/mod.py", src,
+                           LintConfig(select=frozenset({"SIM001", "DET001"})))
+    assert findings == sorted(findings)
+    assert all(f.line >= 1 and f.col >= 0 for f in findings)
