@@ -1,0 +1,98 @@
+"""Perf-smoke: reuse-kernel throughput and full-suite wall time.
+
+Writes ``BENCH_reuse.json`` — the checked-in copy records the reference
+container's numbers so the bench trajectory is visible in review; CI
+regenerates it on every push as a job artifact.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_reuse.json
+
+Wall-clock reads are fine here: ``benchmarks/`` is outside the simulated
+world and exempt from simlint's DET002.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from repro.mem.reuse import _reuse_distances_fenwick, _warm_distances_vector
+
+
+def bench_kernel(kernel, pages: np.ndarray, repeats: int) -> dict:
+    best = min(_timed(kernel, pages) for _ in range(repeats))
+    return {
+        "n_accesses": int(pages.size),
+        "seconds": round(best, 4),
+        "accesses_per_s": int(pages.size / best),
+    }
+
+
+def _timed(kernel, pages: np.ndarray) -> float:
+    t0 = time.perf_counter()
+    kernel(pages)
+    return time.perf_counter() - t0
+
+
+def bench_run_all(scale: float) -> dict:
+    """Cold- and warm-cache wall time of ``run all`` in a child process."""
+    import os
+    import tempfile
+
+    out = {}
+    with tempfile.TemporaryDirectory() as cache_dir:
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        for temperature in ("cold", "warm"):
+            t0 = time.perf_counter()
+            subprocess.run(
+                [sys.executable, "-m", "repro.cli", "run", "all", "--scale", str(scale)],
+                check=True, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            out[temperature] = round(time.perf_counter() - t0, 2)
+    return {"scale": scale, "jobs": 1, "seconds": out}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_reuse.json")
+    parser.add_argument("--accesses", type=int, default=1_000_000,
+                        help="trace length for the kernel benchmarks")
+    parser.add_argument("--distinct", type=int, default=65_536,
+                        help="distinct pages in the random trace")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing per kernel")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale for the run-all timing")
+    parser.add_argument("--skip-run-all", action="store_true",
+                        help="kernel numbers only (fast)")
+    args = parser.parse_args(argv)
+
+    pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
+    vector = bench_kernel(_warm_distances_vector, pages, args.repeats)
+    # best-of-1 for the slow reference loop; it has no warm-up effects
+    fenwick = bench_kernel(_reuse_distances_fenwick, pages, 1)
+    report = {
+        "generated": time.strftime("%Y-%m-%d"),
+        "trace": {"distribution": "uniform", "distinct_pages": args.distinct, "seed": 1},
+        "kernels": {"vector": vector, "fenwick": fenwick},
+        "vector_speedup": round(fenwick["seconds"] / vector["seconds"], 1),
+    }
+    if not args.skip_run_all:
+        report["run_all"] = bench_run_all(args.scale)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    json.dump(report, sys.stdout, indent=1)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Persistent content-addressed artifact cache.
+
+Trace synthesis and feature fusion are pure functions of ``(workload spec,
+scale, seed)`` plus the code version that produced them — so their outputs
+are cached on disk and shared by every process that asks for the same
+artifact: repeated CLI runs, parallel ``run all`` workers, tests and
+benchmarks all stop re-synthesizing identical traces.
+
+Layout: ``<cache-dir>/v1/<artifact>-<sha256-prefix>.npz`` holds the arrays
+(and scalars) of one artifact; a ``.json`` sidecar records the full key for
+humans and ``repro cache info``.  The digest covers the canonical JSON of
+the key, which includes the relevant schema/kernel/fusion versions —
+bumping any version changes every digest, so stale entries are simply
+never looked up again (``repro cache clear`` reclaims the space).
+
+Writes are atomic (temp file + ``os.replace``); a corrupted or truncated
+entry is treated as a miss, deleted, and regenerated.
+
+Environment knobs::
+
+    REPRO_CACHE=0          disable reads and writes entirely
+    REPRO_CACHE_DIR=PATH   cache root (default: $XDG_CACHE_HOME/xdm-repro
+                           if XDG_CACHE_HOME is set, else ./.repro-cache)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.mem.reuse import KERNEL_VERSION, MissRatioCurve
+from repro.trace.fusion import FUSION_VERSION, PageFeatures
+from repro.trace.schema import SCHEMA_VERSION, TRACE_DTYPE, PageTrace
+
+__all__ = [
+    "cache_enabled",
+    "cache_dir",
+    "cache_stats",
+    "cache_info",
+    "clear_cache",
+    "trace_key",
+    "features_key",
+    "load_trace",
+    "store_trace",
+    "load_features",
+    "store_features",
+]
+
+_LAYOUT = "v1"
+
+#: process-local hit/miss counters, reported by the experiment runner
+_stats = {"hits": 0, "misses": 0}
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE=0`` opts out of the disk cache."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Root directory of the artifact cache (not created until first write)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "xdm-repro"
+    return Path(".repro-cache")
+
+
+def cache_stats() -> tuple[int, int]:
+    """(hits, misses) served to this process so far."""
+    return _stats["hits"], _stats["misses"]
+
+
+# -- keys --------------------------------------------------------------------
+
+def _spec_fingerprint(spec) -> dict:
+    """The synthesis-relevant identity of a workload spec."""
+    return {
+        "workload": spec.name,
+        "max_mem_bytes": spec.max_mem_bytes,
+        "params": dict(spec.params),
+    }
+
+
+def trace_key(spec, scale: float, seed: int | None) -> dict:
+    """Cache key of one synthesized trace."""
+    key = _spec_fingerprint(spec)
+    key.update(scale=scale, seed=seed, schema_version=SCHEMA_VERSION)
+    return key
+
+
+def features_key(spec, scale: float, seed: int | None) -> dict:
+    """Cache key of one fused feature profile (includes its MRC histogram)."""
+    key = trace_key(spec, scale, seed)
+    key.update(kernel_version=KERNEL_VERSION, fusion_version=FUSION_VERSION)
+    return key
+
+
+def _digest(key: dict) -> str:
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def _entry_path(artifact: str, key: dict) -> Path:
+    return cache_dir() / _LAYOUT / f"{artifact}-{_digest(key)}.npz"
+
+
+# -- raw entry I/O -----------------------------------------------------------
+
+def _atomic_write(path: Path, mode: str, write) -> None:
+    """Write via a temp file in the same directory, then rename into place."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _store(artifact: str, key: dict, arrays: dict) -> None:
+    path = _entry_path(artifact, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(path, "wb", lambda fh: np.savez(fh, **arrays))
+    _atomic_write(
+        path.with_suffix(".json"), "w",
+        lambda fh: json.dump({"artifact": artifact, "key": key}, fh, sort_keys=True, indent=1),
+    )
+
+
+def _load(artifact: str, key: dict, names: tuple[str, ...]) -> dict | None:
+    path = _entry_path(artifact, key)
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            out = {name: npz[name] for name in names}
+    except FileNotFoundError:
+        _stats["misses"] += 1
+        return None
+    except Exception:
+        # truncated/garbled entry: drop it and regenerate
+        path.unlink(missing_ok=True)
+        path.with_suffix(".json").unlink(missing_ok=True)
+        _stats["misses"] += 1
+        return None
+    _stats["hits"] += 1
+    return out
+
+
+# -- traces ------------------------------------------------------------------
+
+def store_trace(spec, scale: float, seed: int | None, trace: PageTrace) -> None:
+    """Persist one synthesized trace."""
+    _store("trace", trace_key(spec, scale, seed), {"trace": trace.data})
+
+
+def load_trace(spec, scale: float, seed: int | None) -> PageTrace | None:
+    """Load a synthesized trace, or None on a miss."""
+    arrays = _load("trace", trace_key(spec, scale, seed), ("trace",))
+    if arrays is None:
+        return None
+    data = arrays["trace"]
+    if data.dtype != TRACE_DTYPE:  # layout drift without a version bump
+        return None
+    return PageTrace(np.ascontiguousarray(data))
+
+
+# -- fused features ----------------------------------------------------------
+
+_SCALAR_FIELDS = tuple(f.name for f in fields(PageFeatures) if f.name != "mrc")
+
+
+def store_features(spec, scale: float, seed: int | None, features: PageFeatures) -> None:
+    """Persist one fused feature profile (scalars + MRC histogram)."""
+    arrays = {name: getattr(features, name) for name in _SCALAR_FIELDS}
+    mrc = features.mrc
+    arrays["mrc_hist"] = mrc.histogram
+    arrays["mrc_cold"] = mrc.cold_misses
+    arrays["mrc_accesses"] = mrc.n_accesses
+    _store("features", features_key(spec, scale, seed), arrays)
+
+
+def load_features(spec, scale: float, seed: int | None) -> PageFeatures | None:
+    """Load a fused feature profile, or None on a miss."""
+    names = _SCALAR_FIELDS + ("mrc_hist", "mrc_cold", "mrc_accesses")
+    arrays = _load("features", features_key(spec, scale, seed), names)
+    if arrays is None:
+        return None
+    mrc = MissRatioCurve.from_histogram(
+        arrays["mrc_hist"],
+        cold_misses=int(arrays["mrc_cold"]),
+        n_accesses=int(arrays["mrc_accesses"]),
+    )
+    kwargs = {}
+    for f in fields(PageFeatures):
+        if f.name == "mrc":
+            continue
+        value = arrays[f.name].item()
+        kwargs[f.name] = int(value) if f.type == "int" else float(value)
+    return PageFeatures(mrc=mrc, **kwargs)
+
+
+# -- management --------------------------------------------------------------
+
+def cache_info() -> dict:
+    """Entry counts and sizes per artifact kind, for ``repro cache info``."""
+    root = cache_dir() / _LAYOUT
+    kinds: dict[str, int] = {}
+    total_bytes = 0
+    entries = 0
+    if root.is_dir():
+        for path in sorted(root.glob("*.npz")):
+            artifact = path.name.rsplit("-", 1)[0]
+            kinds[artifact] = kinds.get(artifact, 0) + 1
+            total_bytes += path.stat().st_size
+            sidecar = path.with_suffix(".json")
+            if sidecar.exists():
+                total_bytes += sidecar.stat().st_size
+            entries += 1
+    return {
+        "dir": str(cache_dir()),
+        "enabled": cache_enabled(),
+        "entries": entries,
+        "bytes": total_bytes,
+        "kinds": kinds,
+    }
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number of entries removed."""
+    root = cache_dir() / _LAYOUT
+    removed = 0
+    if root.is_dir():
+        for path in sorted(root.glob("*.npz")):
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)
+            removed += 1
+    return removed

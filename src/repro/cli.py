@@ -4,20 +4,27 @@ Subcommands::
 
     xdm-repro list                      # available experiments
     xdm-repro run table06 [--scale S] [--seed N] [--csv]
-    xdm-repro run all                   # every experiment, text tables
+    xdm-repro run all [--jobs N]        # every experiment, text tables
     xdm-repro workloads                 # Table V with fused characteristics
+    xdm-repro cache info|clear          # persistent artifact cache
     xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
+
+Result tables go to stdout; per-experiment wall time and cache-hit counts
+go to stderr, so stdout is byte-identical across serial/parallel runs and
+cold/warm caches.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 
+from repro import cache
 from repro.analysis import cli as lint_cli
-from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments import EXPERIMENTS
 from repro.experiments.context import DEFAULT_SCALE
+from repro.experiments.runner import run_many
 from repro.workloads import TABLE_V
 
 __all__ = ["main"]
@@ -36,16 +43,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
-    for name in names:
-        t0 = time.perf_counter()  # simlint: ignore[DET002] -- wall-time display for the operator, not simulation state
-        result = run_experiment(name, ctx)
-        elapsed = time.perf_counter() - t0  # simlint: ignore[DET002] -- wall-time display for the operator, not simulation state
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+    for outcome in run_many(names, scale=args.scale, seed=args.seed, jobs=args.jobs):
         if args.csv:
-            print(result.to_csv())
+            print(outcome.result.to_csv())
         else:
-            print(result.render())
-            print(f"   ({elapsed:.2f}s)\n")
+            print(outcome.result.render())
+        lookups = outcome.cache_hits + outcome.cache_misses
+        cache_note = (
+            f", cache {outcome.cache_hits}/{lookups} hits" if lookups else ""
+        )
+        print(f"   {outcome.name}: {outcome.elapsed:.2f}s{cache_note}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        removed = cache.clear_cache()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    info = cache.cache_info()
+    print(f"dir:     {info['dir']}")
+    print(f"enabled: {info['enabled']}")
+    print(f"entries: {info['entries']} ({info['bytes'] / 1e6:.1f} MB)")
+    for kind, count in sorted(info["kinds"].items()):
+        print(f"  {kind}: {count}")
     return 0
 
 
@@ -79,7 +102,15 @@ def main(argv: list[str] | None = None) -> int:
                        help=f"workload scale (default {DEFAULT_SCALE})")
     p_run.add_argument("--seed", type=int, default=None, help="root RNG seed")
     p_run.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for multi-experiment runs (default 1)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent artifact cache for this run")
     p_run.set_defaults(func=_cmd_run)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_wl = sub.add_parser("workloads", help="show Table V workload characteristics")
     p_wl.add_argument("--scale", type=float, default=DEFAULT_SCALE)

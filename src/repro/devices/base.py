@@ -205,11 +205,22 @@ class FarMemoryDevice:
             name=f"{self.name}:write",
         )
 
+    def read_gen(self, nbytes: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline variant of :meth:`read` for ``yield from`` in a caller's
+        own process — same contention and timing, no Process wrapper."""
+        return self._io(nbytes, write=False, granularity=granularity, weight=weight)
+
+    def write_gen(self, nbytes: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline variant of :meth:`write` for ``yield from``."""
+        return self._io(nbytes, write=True, granularity=granularity, weight=weight)
+
     def _io(self, nbytes: int, write: bool, granularity: int, weight: float):
         if nbytes <= 0:
             return 0.0
         start = self.sim.now
-        grant = yield self.channel_pool.request()
+        grant = self.channel_pool.try_acquire()
+        if grant is None:
+            grant = yield self.channel_pool.request()
         try:
             ops = math.ceil(nbytes / granularity)
             moved = ops * granularity  # whole granules cross the wire
@@ -224,7 +235,10 @@ class FarMemoryDevice:
                 stages.append(self.link.transfer(moved, weight=weight))
             if self.switch is not None:
                 stages.append(self.switch.transfer(moved, weight=weight))
-            yield self.sim.all_of(stages)
+            if len(stages) == 1:
+                yield stages[0]
+            else:
+                yield self.sim.all_of(stages)
         finally:
             self.channel_pool.release(grant)
         self.ops += 1

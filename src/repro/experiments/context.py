@@ -8,7 +8,7 @@ costs one feature pass per workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.baselines import BaselineSystem, FASTSWAP, LINUX_SWAP
 from repro.core import SmartConsole, make_variant
@@ -133,8 +133,6 @@ class ExperimentContext:
         model = self.model(name, kind)
         config = decision.config
         if co_tenants:
-            from dataclasses import replace
-
             config = replace(config, co_tenants=co_tenants)
         cost = model.cost(decision.local_pages, config)
         return EvaluatedRun(cost=cost, compute_time=self.compute_time(name))

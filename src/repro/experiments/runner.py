@@ -1,9 +1,13 @@
-"""Experiment registry and runner."""
+"""Experiment registry and runner (serial or process-parallel)."""
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import time
+from collections.abc import Callable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
+from repro import cache
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ablation,
@@ -31,7 +35,7 @@ from repro.experiments import (
 from repro.experiments.context import ExperimentContext
 from repro.experiments.tables import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = ["EXPERIMENTS", "RunOutcome", "get_experiment", "run_experiment", "run_many"]
 
 #: experiment id -> run callable. Ids mirror the paper's table/figure numbers.
 EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
@@ -72,3 +76,72 @@ def get_experiment(name: str) -> Callable[[ExperimentContext], ExperimentResult]
 def run_experiment(name: str, ctx: ExperimentContext | None = None) -> ExperimentResult:
     """Run one experiment (building a default context if none is given)."""
     return get_experiment(name)(ctx or ExperimentContext())
+
+
+@dataclass
+class RunOutcome:
+    """One experiment's result plus runner bookkeeping.
+
+    ``elapsed`` is operator-facing wall time; it never feeds back into any
+    simulated quantity.  ``cache_hits``/``cache_misses`` count disk-cache
+    lookups performed while this experiment ran (in its worker process).
+    """
+
+    name: str
+    result: ExperimentResult
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+
+
+#: per-process context, shared by all experiments a pool worker executes
+_worker_ctx: ExperimentContext | None = None
+
+
+def _run_timed(name: str, ctx: ExperimentContext) -> RunOutcome:
+    h0, m0 = cache.cache_stats()
+    t0 = time.perf_counter()  # simlint: ignore[DET002] -- operator-facing wall time, never enters simulation state
+    result = run_experiment(name, ctx)
+    elapsed = time.perf_counter() - t0  # simlint: ignore[DET002] -- operator-facing wall time, never enters simulation state
+    h1, m1 = cache.cache_stats()
+    return RunOutcome(name, result, elapsed, h1 - h0, m1 - m0)
+
+
+def _pool_init(scale: float, seed: int | None) -> None:
+    global _worker_ctx
+    _worker_ctx = ExperimentContext(scale=scale, seed=seed)
+
+
+def _pool_run(name: str) -> RunOutcome:
+    assert _worker_ctx is not None
+    return _run_timed(name, _worker_ctx)
+
+
+def run_many(
+    names: list[str],
+    scale: float,
+    seed: int | None = None,
+    jobs: int = 1,
+) -> Iterator[RunOutcome]:
+    """Run ``names`` serially or across ``jobs`` worker processes.
+
+    Outcomes are always yielded in input order, so rendered output is
+    byte-identical whatever ``jobs`` is.  Workers share the disk cache:
+    each synthesized trace and fused feature profile is computed once and
+    loaded everywhere else.  Experiments must not depend on context
+    history (each worker holds its own :class:`ExperimentContext`); the
+    parallel-determinism test locks that property in.
+    """
+    for name in names:
+        get_experiment(name)  # validate before spawning workers
+    if jobs <= 1 or len(names) <= 1:
+        ctx = ExperimentContext(scale=scale, seed=seed)
+        for name in names:
+            yield _run_timed(name, ctx)
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(names)),
+        initializer=_pool_init,
+        initargs=(scale, seed),
+    ) as pool:
+        yield from pool.map(_pool_run, names)

@@ -8,22 +8,77 @@ local-memory budget, which turns the paper's far-memory-ratio sweeps
 (Fig 15's SLO curves, the console's minimum-hot-size estimate) into O(1)
 lookups instead of re-simulation.
 
-Implementation: the standard Fenwick-tree algorithm, O(n log n).  The hot
-loop is plain Python over a pre-extracted list with bound methods hoisted —
-per the HPC guide, measured at ~1.5 M accesses/s, fast enough for the
-<=1 M-access traces this repo uses (and the histogram is cached per trace).
+Two kernels compute the same exact distances, selected by the
+``REPRO_REUSE_KERNEL`` environment variable:
+
+``vector`` (default)
+    Offline divide-and-conquer over numpy arrays.  With ``prev[t]`` the
+    previous access to ``pages[t]``, the distance of a warm access is::
+
+        distance(t) = (t - prev[t] - 1) - #{warm j < t : prev[j] > prev[t]}
+
+    because an access ``j`` inside the window ``(prev[t], t)`` repeats a
+    page already counted iff its own previous access also lies inside the
+    window — and ``prev[j] > prev[t]`` alone implies that (``j <= prev[t]``
+    would force ``prev[j] < prev[t]``).  The correction term is a
+    left-inversion count over the (distinct) ``prev`` values of warm
+    accesses, computed level-by-level like a mergesort: tiny levels by
+    direct broadcast comparison, larger levels by sorting packed
+    ``value * 2^K + time`` keys in row blocks and counting with cumulative
+    sums — O(n log² n) element work, but every level is a handful of full
+    array passes.  Measured ~2.6 M accesses/s at 1 M uniform-random
+    accesses on the reference container (~0.39 s).
+
+``fenwick``
+    The classic per-access Fenwick-tree loop, O(n log n) in pure Python.
+    Kept as the independent reference implementation the equivalence tests
+    compare against.  Measured ~210 k accesses/s at 1 M accesses (~4.7 s)
+    — the vectorized kernel is ~12× faster there.
+
+:func:`reuse_histogram` feeds :class:`MissRatioCurve` without ever
+materializing the full per-access distance array.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro.errors import TraceError
 
-__all__ = ["reuse_distances", "MissRatioCurve"]
+__all__ = ["reuse_distances", "reuse_histogram", "MissRatioCurve", "KERNEL_VERSION"]
 
 #: Sentinel distance for cold (first-touch) accesses.
 COLD = np.iinfo(np.int64).max
+
+#: Bumped whenever kernel output could change; part of MRC cache keys.
+KERNEL_VERSION = 2
+
+#: Environment variable selecting the distance kernel.
+KERNEL_ENV = "REPRO_REUSE_KERNEL"
+
+#: Merge levels 0..3 use direct broadcast compares; sorting machinery only
+#: pays off once rows are at least 2 * 2**_DIRECT_LEVELS wide.
+_DIRECT_LEVELS = 4
+
+
+def _validated(pages: np.ndarray) -> np.ndarray:
+    pages = np.asarray(pages)
+    if pages.ndim != 1:
+        raise TraceError(f"pages must be 1-D, got shape {pages.shape}")
+    if pages.shape[0] and not np.issubdtype(pages.dtype, np.integer):
+        raise TraceError(f"pages must be integers, got dtype {pages.dtype}")
+    return pages
+
+
+def _kernel() -> str:
+    kernel = os.environ.get(KERNEL_ENV, "vector")
+    if kernel not in ("vector", "fenwick"):
+        raise TraceError(
+            f"unknown {KERNEL_ENV}={kernel!r}; expected 'vector' or 'fenwick'"
+        )
+    return kernel
 
 
 def reuse_distances(pages: np.ndarray) -> np.ndarray:
@@ -39,15 +94,164 @@ def reuse_distances(pages: np.ndarray) -> np.ndarray:
     numpy.ndarray
         int64 array of the same length; ``COLD`` marks first touches.
     """
-    pages = np.asarray(pages)
-    if pages.ndim != 1:
-        raise TraceError(f"pages must be 1-D, got shape {pages.shape}")
+    pages = _validated(pages)
+    if _kernel() == "fenwick":
+        return _reuse_distances_fenwick(pages)
+    return _reuse_distances_vector(pages)
+
+
+def reuse_histogram(pages: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Distance histogram of ``pages`` without the per-access array.
+
+    Returns ``(hist, cold_misses, n_accesses)`` where ``hist[d]`` counts
+    warm accesses with stack distance exactly ``d`` (``hist`` has at least
+    one bin).  Bit-identical to binning :func:`reuse_distances` output,
+    for either kernel.
+    """
+    pages = _validated(pages)
+    n = pages.shape[0]
+    if _kernel() == "fenwick":
+        distances = _reuse_distances_fenwick(pages)
+        warm = distances[distances != COLD]
+    else:
+        warm = _warm_distances_vector(pages)
+    hist = np.bincount(warm) if warm.size else np.zeros(1, dtype=np.int64)
+    return hist, n - int(warm.size), n
+
+
+# -- vectorized kernel -------------------------------------------------------
+
+def _prev_occurrence(pages: np.ndarray, n: int) -> np.ndarray:
+    """prev[t] = index of the previous access to pages[t], or -1."""
+    t = np.arange(n, dtype=np.int64)
+    lo = int(pages.min())
+    hi = int(pages.max())
+    prev = np.full(n, -1, dtype=np.int64)
+    if lo >= 0 and hi + 1 <= (2**63 - 1) // n:
+        # composite sort groups each page's accesses in time order
+        comp = np.sort(pages.astype(np.int64) * n + t)
+        order = comp % n
+        grp = comp // n
+    else:
+        # huge or negative ids: fall back to a stable argsort
+        order = np.argsort(pages, kind="stable")
+        grp = pages[order]
+    same = grp[1:] == grp[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _left_inversions(s: np.ndarray, n: int) -> np.ndarray:
+    """inv[i] = #{k < i : s[k] > s[i]} for distinct ints ``s`` in [0, n).
+
+    Level-wise merge counting.  Values are padded to a power-of-two length
+    with sentinels that can never outrank a real element (-1 for the
+    compare levels, a top-tier packed key for the sorted levels), so pad
+    "contributions" land harmlessly in the padded tail of the accumulator.
+    """
+    w = s.shape[0]
+    if w < 2:
+        return np.zeros(w, dtype=np.int64)
+    K = int(w - 1).bit_length()
+    W = 1 << K
+    invW = np.zeros(W, dtype=np.int64)
+
+    vp = np.full(W, -1, dtype=np.int64)
+    vp[:w] = s
+    top = min(K, _DIRECT_LEVELS)
+    if K >= 1:
+        rows = -(-w // 2)  # process only rows containing real elements
+        B = vp[: 2 * rows].reshape(-1, 2)
+        invW[: 2 * rows].reshape(-1, 2)[:, 1] += B[:, 0] > B[:, 1]
+    if K >= 2 and top >= 2:
+        rows = -(-w // 4)
+        B = vp[: 4 * rows].reshape(-1, 4)
+        R = invW[: 4 * rows].reshape(-1, 4)
+        rgt = B[:, 2:4]
+        R[:, 2:4] += B[:, 0:1] > rgt
+        R[:, 2:4] += B[:, 1:2] > rgt
+    for k in range(2, top):
+        m = 1 << k
+        rows = -(-w // (2 * m))
+        B = vp[: 2 * m * rows].reshape(-1, 2 * m)
+        R = invW[: 2 * m * rows].reshape(-1, 2 * m)
+        R[:, m:] += (B[:, :m, None] > B[:, None, m:]).sum(axis=1)
+
+    if K > top:
+        # pack value << K | time; pads (value n) sort last in every block
+        comp = np.empty(W, dtype=np.int64)
+        t = np.arange(W, dtype=np.int64)
+        comp[:w] = (s << K) | t[:w]
+        comp[w:] = (np.int64(n) << K) | t[w:]
+        tmask = np.int64(W - 1)
+        k = top
+        while k + 1 < K:
+            # 4-way merge: one sort covers binary levels k and k+1
+            m = 1 << k
+            rows = -(-w // (4 * m))
+            srt = np.sort(comp[: 4 * m * rows].reshape(-1, 4 * m), axis=1)
+            tt = srt & tmask
+            q = (tt >> k) & 3
+            c0 = np.cumsum(q == 0, axis=1, dtype=np.int32)
+            c01 = np.cumsum(q <= 1, axis=1, dtype=np.int32)
+            c2 = np.cumsum(q == 2, axis=1, dtype=np.int32)
+            contrib = (
+                (q == 1) * (m - c0)
+                + (q >= 2) * (2 * m - c01)
+                + (q == 3) * (m - c2)
+            )
+            invW[tt.ravel()] += contrib.ravel()
+            k += 2
+        if k < K:  # leftover binary level
+            m = 1 << k
+            rows = -(-w // (2 * m))
+            srt = np.sort(comp[: 2 * m * rows].reshape(-1, 2 * m), axis=1)
+            tt = srt & tmask
+            is_left = ((tt >> k) & 1) == 0
+            cl = np.cumsum(is_left, axis=1, dtype=np.int32)
+            contrib = np.where(is_left, 0, m - cl)
+            invW[tt.ravel()] += contrib.ravel()
+    return invW[:w]
+
+
+def _warm_distances_vector(pages: np.ndarray) -> np.ndarray:
+    """Distances of warm accesses only, in access order (no COLD entries)."""
+    n = pages.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if 2 * n.bit_length() > 62:  # packed keys would overflow int64
+        distances = _reuse_distances_fenwick(pages)
+        return distances[distances != COLD]
+    prev = _prev_occurrence(pages, n)
+    warm = np.flatnonzero(prev >= 0)
+    if warm.size == 0:
+        return np.empty(0, dtype=np.int64)
+    s = prev[warm]
+    return (warm - s - 1) - _left_inversions(s, n)
+
+
+def _reuse_distances_vector(pages: np.ndarray) -> np.ndarray:
+    n = pages.shape[0]
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    if 2 * n.bit_length() > 62:
+        return _reuse_distances_fenwick(pages)
+    prev = _prev_occurrence(pages, n)
+    warm = np.flatnonzero(prev >= 0)
+    if warm.size:
+        s = prev[warm]
+        out[warm] = (warm - s - 1) - _left_inversions(s, n)
+    return out
+
+
+# -- reference kernel --------------------------------------------------------
+
+def _reuse_distances_fenwick(pages: np.ndarray) -> np.ndarray:
     n = pages.shape[0]
     out = np.empty(n, dtype=np.int64)
     if n == 0:
         return out
-    if not np.issubdtype(pages.dtype, np.integer):
-        raise TraceError(f"pages must be integers, got dtype {pages.dtype}")
 
     # Fenwick tree over access timestamps: tree[i] == 1 iff timestamp i is
     # the *latest* access of some page. The stack distance of an access at
@@ -103,20 +307,36 @@ class MissRatioCurve:
         if (pages is None) == (distances is None):
             raise TraceError("provide exactly one of pages= or distances=")
         if distances is None:
-            distances = reuse_distances(pages)
+            hist, cold, n = reuse_histogram(pages)
+            self._init_from_histogram(hist, cold, n)
+            return
         distances = np.asarray(distances, dtype=np.int64)
-        self.n_accesses = int(distances.shape[0])
-        cold_mask = distances == COLD
-        self.cold_misses = int(cold_mask.sum())
-        warm = distances[~cold_mask]
+        n = int(distances.shape[0])
+        warm = distances[distances != COLD]
+        hist = np.bincount(warm) if warm.size else np.zeros(1, dtype=np.int64)
+        self._init_from_histogram(hist, n - int(warm.size), n)
+
+    def _init_from_histogram(self, hist: np.ndarray, cold_misses: int, n_accesses: int) -> None:
+        self.n_accesses = int(n_accesses)
+        self.cold_misses = int(cold_misses)
         self.n_pages = self.cold_misses  # each cold miss is a distinct page
         # histogram of finite distances; hist[d] = number of accesses with
         # stack distance exactly d. Cumulative sum gives hits(C).
-        if warm.size:
-            self._hist = np.bincount(warm)
-        else:
-            self._hist = np.zeros(1, dtype=np.int64)
+        hist = np.asarray(hist, dtype=np.int64)
+        self._hist = hist if hist.size else np.zeros(1, dtype=np.int64)
         self._cum_hits = np.cumsum(self._hist)  # hits for C = d+1
+
+    @classmethod
+    def from_histogram(cls, hist: np.ndarray, cold_misses: int, n_accesses: int) -> "MissRatioCurve":
+        """Rebuild a curve from :func:`reuse_histogram` output (cache loads)."""
+        self = cls.__new__(cls)
+        self._init_from_histogram(hist, cold_misses, n_accesses)
+        return self
+
+    @property
+    def histogram(self) -> np.ndarray:
+        """The warm-distance histogram (``histogram[d]`` accesses at distance d)."""
+        return self._hist
 
     def hits(self, cache_pages: int) -> int:
         """Accesses that hit in an LRU cache of ``cache_pages`` pages."""

@@ -86,56 +86,77 @@ class FairShareLink:
         """Drain bytes for time elapsed since the last state change."""
         if self.sim.sanitize:
             self._sanitize_state()
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._flows:
+        flows = self._flows
+        if dt <= 0 or not flows:
             return
         self.busy_time += dt
-        total_w = sum(f.weight for f in self._flows)
+        if len(flows) == 1:
+            # Lone-flow fast path — the common case on per-device media
+            # pipes.  Same float expression shape as the general loop
+            # ((bw / total_w) * w * dt) so results stay bit-identical.
+            f = flows[0]
+            drained = self.bandwidth / f.weight * f.weight * dt
+            f.remaining -= drained
+            self.total_bytes += min(drained, max(0.0, f.remaining + drained))
+            if f.remaining <= _EPS_BYTES:
+                del flows[0]
+                f.event.succeed(None)
+            return
+        total_w = sum(f.weight for f in flows)
         rate_per_w = self.bandwidth / total_w
         done: list[_Flow] = []
-        for f in self._flows:
+        for f in flows:
             drained = rate_per_w * f.weight * dt
             f.remaining -= drained
             self.total_bytes += min(drained, max(0.0, f.remaining + drained))
             if f.remaining <= _EPS_BYTES:
                 done.append(f)
         for f in done:
-            self._flows.remove(f)
+            flows.remove(f)
             f.event.succeed(None)
 
-    def _complete_underflowed(self) -> None:
+    def _complete_underflowed(self) -> float | None:
         """Force-complete flows whose finish delay underflows the clock.
 
         With a residue of a few nano-bytes, ``now + dt == now`` in float64
         and the wakeup loop would spin without advancing time; such flows
-        are physically done.
+        are physically done.  Returns the earliest finish delay of the
+        surviving flows (``None`` when the link drains idle) so the caller
+        does not recompute it.
         """
-        while self._flows:
+        while True:
             dt = self._earliest_finish()
-            if dt is None or self.sim.now + dt > self.sim.now:
-                return
+            if dt is None:
+                return None
+            now = self.sim._now
+            if now + dt > now:
+                return dt
             f = min(self._flows, key=lambda fl: fl.remaining / fl.weight)
             self._flows.remove(f)
             f.event.succeed(None)
 
     def _earliest_finish(self) -> float | None:
-        if not self._flows:
+        flows = self._flows
+        if not flows:
             return None
-        total_w = sum(f.weight for f in self._flows)
+        if len(flows) == 1:
+            f = flows[0]
+            return f.remaining / (self.bandwidth / f.weight * f.weight)
+        total_w = sum(f.weight for f in flows)
         rate_per_w = self.bandwidth / total_w
-        return min(f.remaining / (rate_per_w * f.weight) for f in self._flows)
+        return min(f.remaining / (rate_per_w * f.weight) for f in flows)
 
     def _reschedule(self) -> None:
         # Invalidate any previously scheduled wakeup by replacing it; stale
         # wakeups become no-ops because _advance() recomputes from scratch.
-        self._complete_underflowed()
-        dt = self._earliest_finish()
+        dt = self._complete_underflowed()
         if dt is None:
             self._wakeup = None
             return
-        wake = self.sim.timeout(max(dt, 0.0))
+        wake = self.sim.timeout(dt if dt > 0.0 else 0.0)
         self._wakeup = wake
         wake.callbacks.append(self._on_wake)
 

@@ -119,10 +119,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        # Inlined Event.__init__ — timeouts are the most-created object in
+        # any replay and the extra super() frame is measurable.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 
@@ -209,7 +214,6 @@ class Simulator:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
-        self._active: int = 0  # events in the heap
         self.sanitize: bool = sanitizer_enabled() if sanitize is None else bool(sanitize)
         self.event_log = event_log
 
@@ -224,7 +228,6 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-        self._active += 1
 
     def event(self) -> Event:
         """Create a fresh, untriggered event."""
@@ -286,7 +289,6 @@ class Simulator:
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
         when, seq, event = heapq.heappop(self._heap)
-        self._active -= 1
         if when < self._now:
             cls = SanitizerError if self.sanitize else SimulationError
             raise cls(f"time ran backwards: {when} < {self._now}")
@@ -304,24 +306,46 @@ class Simulator:
         * ``until=<Event>`` — stop when that event has fired; returns its
           value (raises its exception).  Raises :class:`DeadlockError` if
           the queue drains first.
+
+        The dispatch loops inline :meth:`step` (minus its empty-queue
+        guard, restated per shape) — this is the simulator's innermost
+        loop and the method-call + attribute-lookup overhead is measurable
+        on executor-scale replays.  Keep the two in sync.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        log = self.event_log
         if isinstance(until, Event):
             target = until
             while not target._processed:
-                if not self._heap:
+                if not heap:
                     raise DeadlockError(
                         f"event queue drained before target event fired (t={self._now})"
                     )
-                self.step()
+                when, seq, event = pop(heap)
+                if when < self._now:
+                    cls = SanitizerError if self.sanitize else SimulationError
+                    raise cls(f"time ran backwards: {when} < {self._now}")
+                if log is not None:
+                    log.append((when, seq, type(event).__name__))
+                self._now = when
+                event._run_callbacks()
             return target.value
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, seq, event = pop(heap)
+                if when < self._now:
+                    cls = SanitizerError if self.sanitize else SimulationError
+                    raise cls(f"time ran backwards: {when} < {self._now}")
+                if log is not None:
+                    log.append((when, seq, type(event).__name__))
+                self._now = when
+                event._run_callbacks()
             return None
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= horizon:
+        while heap and heap[0][0] <= horizon:
             self.step()
         self._now = horizon
         return None

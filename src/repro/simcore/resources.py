@@ -77,6 +77,24 @@ class Resource:
             self._queue.append(ev)
         return ev
 
+    def try_acquire(self) -> Event | None:
+        """Grant a server synchronously if one is free, else ``None``.
+
+        Fast path for uncontended resources: the returned grant token is
+        never scheduled through the event heap, so the caller proceeds in
+        the same engine step.  Fall back to :meth:`request` (and yield)
+        when this returns ``None``::
+
+            grant = pool.try_acquire()
+            if grant is None:
+                grant = yield pool.request()
+        """
+        if self._in_use >= self.capacity or self._queue:
+            return None
+        ev = Event(self.sim)
+        self._grant(ev)
+        return ev
+
     def _grant(self, ev: Event) -> None:
         self._in_use += 1
         self.total_grants += 1
@@ -176,6 +194,24 @@ class Store:
                 f"capacity {self.capacity}"
             )
         return ev
+
+    def put_nowait(self, item: Any) -> None:
+        """Insert ``item`` synchronously; raises if the store is full.
+
+        Behaves like a :meth:`put` that would fire immediately, without
+        creating (or scheduling) a completion event — the fast path for
+        unbounded notification queues on hot code paths.
+        """
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_puts += 1
+            self.total_gets += 1
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError(f"put_nowait on full store {self.name!r}")
+        self._items.append(item)
+        self.total_puts += 1
 
     def get(self) -> Event:
         """Remove and return the oldest item; blocks while empty."""

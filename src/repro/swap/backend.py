@@ -107,18 +107,27 @@ class SwapBackendModule:
 
     def store(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
         """DES process: swap ``page`` out to this backend."""
+        return self.sim.process(
+            self.store_gen(page, granularity=granularity, weight=weight),
+            name=f"{self.name}:store",
+        )
+
+    def store_gen(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline variant of :meth:`store` for ``yield from`` — slot
+        bookkeeping and validation run eagerly, the device I/O inline in
+        the caller's process (no Process wrapper)."""
         self._require_active()
         if page in self._map:
             raise SwapError(f"page {page} already stored on {self.name}")
         slot = self.slots.allocate()
         self._map[page] = slot
 
-        def proc():
-            yield self.device.write(granularity, granularity=granularity, weight=weight)
+        def gen():
+            yield from self.device.write_gen(granularity, granularity=granularity, weight=weight)
             self.pages_stored += 1
             return slot
 
-        return self.sim.process(proc(), name=f"{self.name}:store")
+        return gen()
 
     def load(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
              keep: bool = False):
@@ -129,6 +138,14 @@ class SwapBackendModule:
         ``keep=False`` frees the slot (the default kernel fast path once
         the page is dirtied).
         """
+        return self.sim.process(
+            self.load_gen(page, granularity=granularity, weight=weight, keep=keep),
+            name=f"{self.name}:load",
+        )
+
+    def load_gen(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
+                 keep: bool = False):
+        """Inline variant of :meth:`load` for ``yield from``."""
         self._require_active()
         if page not in self._map:
             raise SwapError(f"page {page} not present on {self.name}")
@@ -136,12 +153,12 @@ class SwapBackendModule:
             slot = self._map.pop(page)
             self.slots.release(slot)
 
-        def proc():
-            yield self.device.read(granularity, granularity=granularity, weight=weight)
+        def gen():
+            yield from self.device.read_gen(granularity, granularity=granularity, weight=weight)
             self.pages_loaded += 1
             return page
 
-        return self.sim.process(proc(), name=f"{self.name}:load")
+        return gen()
 
     def invalidate(self, page: int) -> None:
         """Drop a retained swap-cache copy without any I/O (page dirtied)."""

@@ -111,56 +111,65 @@ class SwapExecutor:
 
     def _run_proc(self, trace: PageTrace):
         res = self.result
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         pages = trace.pages.tolist()
         kinds = trace.kinds.tolist()
         ops = trace.ops.tolist()
         anon = int(PageKind.ANON)
         store_op = int(PageOp.STORE)
+        # the loop body runs per access — bind the hot callables once
+        frontend = self.frontend
+        lru_access = self.lru.access
+        swapped_out = frontend.swapped_out
+        touched = self._touched
+        dirty = self._dirty
+        evicted = self._evicted
+        granularity = self.config.granularity
+        add_latency = res.fault_latency.add
+        sanitize = sim.sanitize
         for page, kind, op in zip(pages, kinds, ops):
             res.accesses += 1
             if kind != anon:
                 res.file_skips += 1
                 continue
-            if self.lru.access(page):
+            if lru_access(page):
                 res.hits += 1
                 dirtied_now = op == store_op
-            elif page not in self._touched:
-                self._touched.add(page)
+            elif page not in touched:
+                touched.add(page)
                 dirtied_now = True  # first touch populates the page
                 res.cold_allocations += 1  # zero-fill, no device traffic
             else:
                 res.faults += 1
-                t0 = self.sim.now
-                yield self.sim.timeout(FAULT_COST)
+                t0 = sim.now
+                yield sim.timeout(FAULT_COST)
                 # one device op fetches the granule covering this page; the
                 # far copy is retained (swap cache) so a clean re-reclaim
                 # later needs no rewrite
-                yield self.frontend.load_page(
-                    page, granularity=self.config.granularity, keep_copy=True
+                yield from frontend.load_page_gen(
+                    page, granularity=granularity, keep_copy=True
                 )
                 res.swap_ins += 1
-                res.fault_latency.add(self.sim.now - t0)
+                add_latency(sim.now - t0)
                 dirtied_now = op == store_op
             if dirtied_now:
-                self._dirty.add(page)
-                if self.frontend.swapped_out(page):
+                dirty.add(page)
+                if swapped_out(page):
                     # resident page diverged from its far copy
-                    self.frontend.invalidate_page(page)
+                    frontend.invalidate_page(page)
             # drain reclaim victims produced by this access
-            while self._evicted:
-                victim = self._evicted.pop()
-                if self.frontend.swapped_out(victim):
+            while evicted:
+                victim = evicted.pop()
+                if swapped_out(victim):
                     # clean victim with a valid swap-cache copy: free the
                     # local frame, no writeback
                     res.clean_drops += 1
                     continue
-                yield self.frontend.store_page(
-                    victim, granularity=self.config.granularity
-                )
+                yield from frontend.store_page_gen(victim, granularity=granularity)
                 res.swap_outs += 1
-                self._dirty.discard(victim)
-            if self.sim.sanitize and res.accesses % _SANITIZE_STRIDE == 0:
+                dirty.discard(victim)
+            if sanitize and res.accesses % _SANITIZE_STRIDE == 0:
                 self.assert_page_conservation()
         if self.sim.sanitize:
             self.assert_page_conservation()

@@ -102,20 +102,27 @@ class SwapFrontend:
         Returns a process whose value is True if the page was taken by a
         backend, False if it was skipped (file-backed).
         """
-        def proc():
-            if kind != PageKind.ANON:
-                self.skipped_file_backed += 1
-                return False
-            if self._active is None:
-                raise BackendUnavailableError(f"{self.name}: no active backend")
-            module = self._modules[self._active]
-            yield module.store(page, granularity=granularity, weight=weight)
-            self._owner[page] = self._active
-            self.stores += 1
-            yield self.listening_queue.put(("stored", page, self._active))
-            return True
+        return self.sim.process(
+            self.store_page_gen(page, kind=kind, granularity=granularity, weight=weight),
+            name=f"{self.name}:store",
+        )
 
-        return self.sim.process(proc(), name=f"{self.name}:store")
+    def store_page_gen(self, page: int, kind: PageKind = PageKind.ANON,
+                       granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline variant of :meth:`store_page` for ``yield from`` in the
+        caller's own process — identical timing, no Process wrappers down
+        the frontend -> module -> device chain."""
+        if kind != PageKind.ANON:
+            self.skipped_file_backed += 1
+            return False
+        if self._active is None:
+            raise BackendUnavailableError(f"{self.name}: no active backend")
+        module = self._modules[self._active]
+        yield from module.store_gen(page, granularity=granularity, weight=weight)
+        self._owner[page] = self._active
+        self.stores += 1
+        self.listening_queue.put_nowait(("stored", page, self._active))
+        return True
 
     def load_page(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
                   keep_copy: bool = False):
@@ -125,19 +132,26 @@ class SwapFrontend:
         swap-cache semantics, so a clean reclaim later needs no rewrite;
         the page then still answers True to :meth:`swapped_out`.
         """
-        def proc():
-            owner = self._owner.get(page)
-            if owner is None:
-                raise BackendUnavailableError(f"{self.name}: page {page} not swapped out")
-            if not keep_copy:
-                del self._owner[page]
-            module = self._modules[owner]
-            yield module.load(page, granularity=granularity, weight=weight, keep=keep_copy)
-            self.loads += 1
-            yield self.listening_queue.put(("loaded", page, owner))
-            return page
+        return self.sim.process(
+            self.load_page_gen(page, granularity=granularity, weight=weight,
+                               keep_copy=keep_copy),
+            name=f"{self.name}:load",
+        )
 
-        return self.sim.process(proc(), name=f"{self.name}:load")
+    def load_page_gen(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
+                      keep_copy: bool = False):
+        """Inline variant of :meth:`load_page` for ``yield from``."""
+        owner = self._owner.get(page)
+        if owner is None:
+            raise BackendUnavailableError(f"{self.name}: page {page} not swapped out")
+        if not keep_copy:
+            del self._owner[page]
+        module = self._modules[owner]
+        yield from module.load_gen(page, granularity=granularity, weight=weight,
+                                   keep=keep_copy)
+        self.loads += 1
+        self.listening_queue.put_nowait(("loaded", page, owner))
+        return page
 
     def invalidate_page(self, page: int) -> None:
         """Drop a retained far copy (the resident page was dirtied)."""

@@ -31,7 +31,7 @@ channels add a small per-op tax; shared channels queue behind co-tenants.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.devices.base import FarMemoryDevice
 from repro.errors import ConfigurationError
@@ -164,14 +164,13 @@ class SwapPathModel:
         self.fault_parallelism = fault_parallelism
 
     # -- helpers -----------------------------------------------------------
-    def _granularity_cluster(self, config: SwapConfig) -> float:
-        """Misses served per far-memory op at this granularity.
+    def _granularity_cluster(self, g_pages: float) -> float:
+        """Misses served per far-memory op at ``g_pages`` pages/op.
 
         Sequential neighbours batch perfectly; beyond that, the *fragment*
         structure allows partial batching (contiguous-but-not-in-order data
         still arrives usefully when the reuse window is short).
         """
-        g_pages = config.granularity / PAGE_SIZE
         f = self.features
         # order-driven batching (true sequential runs) ...
         seq_part = _cluster(g_pages, f.seq_access_ratio)
@@ -211,7 +210,7 @@ class SwapPathModel:
         merged_pages = 1.0 + seq_pf * (config.merge_pages - 1)
         g = max(config.granularity, int(merged_pages * PAGE_SIZE))
         g_pages = g / PAGE_SIZE
-        cluster = self._granularity_cluster(replace(config, granularity=g, merge_pages=1))
+        cluster = self._granularity_cluster(g_pages)
         ops_in = misses / cluster
         bytes_in = ops_in * g
         # steady state: each fault evicts one page; dirty ones are written

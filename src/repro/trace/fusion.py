@@ -22,7 +22,11 @@ from repro.trace.analysis import (
 )
 from repro.trace.schema import PageTrace
 
-__all__ = ["PageFeatures", "fuse"]
+__all__ = ["PageFeatures", "fuse", "FUSION_VERSION"]
+
+#: Bumped whenever fused feature definitions change; part of feature
+#: cache keys (together with the reuse-kernel version for the MRC).
+FUSION_VERSION = 1
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,11 @@ import numpy as np
 from repro.errors import TraceError
 from repro.mem.page import PageKind, PageOp
 
-__all__ = ["TRACE_DTYPE", "PageTrace", "make_trace", "concat_traces"]
+__all__ = ["TRACE_DTYPE", "SCHEMA_VERSION", "PageTrace", "make_trace", "concat_traces"]
+
+#: Bumped whenever the trace record layout or synthesis output changes;
+#: part of every trace cache key.
+SCHEMA_VERSION = 1
 
 #: One page access: page id, load/store, anonymous/file-backed.
 TRACE_DTYPE = np.dtype(

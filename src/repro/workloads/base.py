@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import cache as disk_cache
 from repro import rng as rng_mod
 from repro.errors import ConfigurationError
 from repro.trace.fusion import PageFeatures, fuse
@@ -99,15 +100,29 @@ class Workload:
             raise ConfigurationError(f"scale must be positive, got {scale}")
         key = (scale, seed)
         if key not in self._trace_cache:
-            gen = rng_mod.derive(seed, f"workload/{self.spec.name}")
-            self._trace_cache[key] = self._synth(gen, scale)
+            trace = None
+            if disk_cache.cache_enabled():
+                trace = disk_cache.load_trace(self.spec, scale, seed)
+            if trace is None:
+                gen = rng_mod.derive(seed, f"workload/{self.spec.name}")
+                trace = self._synth(gen, scale)
+                if disk_cache.cache_enabled():
+                    disk_cache.store_trace(self.spec, scale, seed, trace)
+            self._trace_cache[key] = trace
         return self._trace_cache[key]
 
     def features(self, scale: float = 1.0, seed: int | None = None) -> PageFeatures:
         """Fused page characteristics of this workload's trace (cached)."""
         key = (scale, seed)
         if key not in self._feature_cache:
-            self._feature_cache[key] = fuse(self.trace(scale, seed))
+            features = None
+            if disk_cache.cache_enabled():
+                features = disk_cache.load_features(self.spec, scale, seed)
+            if features is None:
+                features = fuse(self.trace(scale, seed))
+                if disk_cache.cache_enabled():
+                    disk_cache.store_features(self.spec, scale, seed, features)
+            self._feature_cache[key] = features
         return self._feature_cache[key]
 
     def compute_time(self, scale: float = 1.0, seed: int | None = None) -> float:

@@ -1,11 +1,28 @@
-"""Shared test plumbing: the ``sanitize`` marker.
+"""Shared test plumbing: the ``sanitize`` marker and cache isolation.
 
 Tests marked ``@pytest.mark.sanitize`` run with ``REPRO_SANITIZE=1`` in the
 environment, so every :class:`~repro.simcore.Simulator` they construct
 comes up in sanitizer mode without touching the test body.
+
+The persistent artifact cache is redirected to a session-scoped temp
+directory so test runs never write into the working tree (and still share
+synthesized traces across tests within one session).
 """
 
+import os
+
 import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture(autouse=True)

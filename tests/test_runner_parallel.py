@@ -1,0 +1,45 @@
+"""The experiment runner: ordering, context independence, parallel output.
+
+``run all --jobs N`` promises byte-identical stdout whatever ``N`` is.
+That holds only if (a) outcomes come back in input order and (b) no
+experiment's result depends on what ran before it in the same context —
+both locked in here, including one real trip through a process pool.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import run_experiment, run_many
+
+NAMES = ["fig01b", "fig02b", "fig18"]
+SCALE = 0.2
+
+
+def renders(outcomes):
+    return [o.result.render() for o in outcomes]
+
+
+def test_unknown_name_rejected_before_any_run():
+    with pytest.raises(ConfigurationError):
+        list(run_many(["fig01b", "nope"], scale=SCALE))
+
+
+def test_serial_outcomes_in_input_order():
+    outcomes = list(run_many(NAMES, scale=SCALE))
+    assert [o.name for o in outcomes] == NAMES
+    assert all(o.elapsed >= 0.0 for o in outcomes)
+
+
+def test_results_independent_of_context_history():
+    # each experiment alone in a fresh context ...
+    alone = [run_experiment(n, ExperimentContext(scale=SCALE)).render() for n in NAMES]
+    # ... must render identically to the shared-context batch
+    assert renders(run_many(NAMES, scale=SCALE)) == alone
+
+
+def test_parallel_output_matches_serial():
+    serial = renders(run_many(NAMES, scale=SCALE))
+    parallel = list(run_many(NAMES, scale=SCALE, jobs=2))
+    assert [o.name for o in parallel] == NAMES
+    assert renders(parallel) == serial
