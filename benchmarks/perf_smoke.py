@@ -1,12 +1,31 @@
-"""Perf-smoke: reuse-kernel throughput and full-suite wall time.
+"""Perf-smoke: reuse-kernel, batched-replay, and full-suite wall time.
 
-Writes ``BENCH_reuse.json`` — the checked-in copy records the reference
-container's numbers so the bench trajectory is visible in review; CI
-regenerates it on every push as a job artifact.
+Two suites, selected with ``--suite``:
+
+``reuse`` (default)
+    Reuse-distance kernel throughput plus cold/warm ``run all`` wall time.
+    Writes ``BENCH_reuse.json``.
+
+``replay``
+    Batched fault-replay engine vs the per-access event executor, end to
+    end through the swap stack (LRU + frontend + backend + device) at
+    1 M accesses.  The headline is the fault-heavy uniform workload —
+    the regime the event loop chokes on and batching exists for — with a
+    skewed zipf line alongside.  Writes ``BENCH_replay.json`` and
+    verifies the two engines agree on every counter while timing them.
+    ``--check`` re-runs the suite and fails (exit 1) if batch throughput
+    regressed more than 25 % against the checked-in baseline instead of
+    overwriting it — the CI guard for the replay fast path.
+
+The checked-in copies record the reference container's numbers so the
+bench trajectory is visible in review; CI regenerates them on every push
+as job artifacts.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_reuse.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py --suite replay
+    PYTHONPATH=src python benchmarks/perf_smoke.py --suite replay --check
 
 Wall-clock reads are fine here: ``benchmarks/`` is outside the simulated
 world and exempt from simlint's DET002.
@@ -16,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -23,6 +43,22 @@ import time
 import numpy as np
 
 from repro.mem.reuse import _reuse_distances_fenwick, _warm_distances_vector
+
+#: --check fails when batch accesses/s drops below (1 - this) x baseline.
+REGRESSION_TOLERANCE = 0.25
+
+#: Counters both engines must agree on, bit for bit.
+_COUNTERS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+             "swap_outs", "clean_drops", "file_skips")
+
+#: The replay suite's workloads.  ``uniform`` is the headline: ~50 % miss
+#: ratio keeps the event loop saturated with per-fault DES work.
+_REPLAY_CASES = {
+    "uniform": {"distribution": "uniform", "distinct_pages": 100_000,
+                "local_pages": 50_000, "store_ratio": 0.3, "seed": 42},
+    "zipf": {"distribution": "zipf", "alpha": 1.1, "distinct_pages": 100_000,
+             "local_pages": 25_000, "store_ratio": 0.3, "seed": 42},
+}
 
 
 def bench_kernel(kernel, pages: np.ndarray, repeats: int) -> dict:
@@ -42,7 +78,6 @@ def _timed(kernel, pages: np.ndarray) -> float:
 
 def bench_run_all(scale: float) -> dict:
     """Cold- and warm-cache wall time of ``run all`` in a child process."""
-    import os
     import tempfile
 
     out = {}
@@ -58,35 +93,146 @@ def bench_run_all(scale: float) -> dict:
     return {"scale": scale, "jobs": 1, "seconds": out}
 
 
+# -- replay suite ------------------------------------------------------------
+
+def _replay_trace(case: dict, n: int):
+    from repro.mem.page import PageOp
+    from repro.trace.schema import make_trace
+
+    rng = np.random.default_rng(case["seed"])
+    if case["distribution"] == "uniform":
+        pages = rng.integers(0, case["distinct_pages"], size=n)
+    else:
+        pages = (rng.zipf(case["alpha"], size=n) - 1) % case["distinct_pages"]
+    ops = np.where(rng.random(n) < case["store_ratio"],
+                   int(PageOp.STORE), int(PageOp.LOAD))
+    return make_trace(pages, ops=ops)
+
+
+def _run_swap_stack(trace, local_pages: int, mode: str):
+    from repro.devices import BackendKind, NVMeSSD
+    from repro.simcore import Simulator
+    from repro.swap.executor import SwapExecutor
+
+    os.environ["REPRO_REPLAY"] = mode
+    sim = Simulator()
+    executor = SwapExecutor(sim, NVMeSSD(sim), BackendKind.SSD,
+                            local_pages=local_pages)
+    t0 = time.perf_counter()
+    result = executor.run(trace)
+    return time.perf_counter() - t0, result
+
+
+def bench_replay(accesses: int, repeats: int) -> dict:
+    """Batch vs event throughput per workload, with counter verification."""
+    # the classification cache would let warm repeats skip the engine
+    # under measurement; disable it for the duration
+    os.environ["REPRO_CACHE"] = "0"
+    workloads = {}
+    for name, case in _REPLAY_CASES.items():
+        trace = _replay_trace(case, accesses)
+        batch_best = None
+        batch_res = None
+        for _ in range(repeats):
+            seconds, result = _run_swap_stack(trace, case["local_pages"], "batch")
+            if batch_best is None or seconds < batch_best:
+                batch_best = seconds
+            batch_res = result
+        # best-of-1 for the slow event reference; it has no warm-up effects
+        event_seconds, event_res = _run_swap_stack(trace, case["local_pages"], "event")
+        mismatched = [c for c in _COUNTERS
+                      if getattr(batch_res, c) != getattr(event_res, c)]
+        if mismatched:
+            raise AssertionError(
+                f"{name}: batch/event counter mismatch on {', '.join(mismatched)}"
+            )
+        workloads[name] = {
+            **case,
+            "accesses": accesses,
+            "batch": {"seconds": round(batch_best, 4),
+                      "accesses_per_s": int(accesses / batch_best)},
+            "event": {"seconds": round(event_seconds, 4),
+                      "accesses_per_s": int(accesses / event_seconds)},
+            "speedup": round(event_seconds / batch_best, 1),
+            "counters_identical": True,
+            "faults": event_res.faults,
+            "swap_outs": event_res.swap_outs,
+        }
+    return {
+        "generated": time.strftime("%Y-%m-%d"),
+        "headline": "uniform",
+        "workloads": workloads,
+    }
+
+
+def check_replay_regression(report: dict, baseline_path: str) -> int:
+    """Compare a fresh replay report against the checked-in baseline."""
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"no baseline at {baseline_path}; run without --check first",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for name, fresh in report["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            continue
+        floor = (1.0 - REGRESSION_TOLERANCE) * base["batch"]["accesses_per_s"]
+        got = fresh["batch"]["accesses_per_s"]
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{name}: batch {got} acc/s vs baseline "
+              f"{base['batch']['accesses_per_s']} (floor {floor:.0f}) {status}")
+        if got < floor:
+            failures.append(name)
+    if failures:
+        print(f"replay throughput regression >25% on: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_reuse.json")
+    parser.add_argument("--suite", choices=("reuse", "replay"), default="reuse")
+    parser.add_argument("--out", default=None,
+                        help="report path (default BENCH_<suite>.json)")
     parser.add_argument("--accesses", type=int, default=1_000_000,
-                        help="trace length for the kernel benchmarks")
+                        help="trace length for the kernel/replay benchmarks")
     parser.add_argument("--distinct", type=int, default=65_536,
-                        help="distinct pages in the random trace")
+                        help="distinct pages in the reuse-suite random trace")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="best-of-N timing per kernel")
+                        help="best-of-N timing per kernel/engine")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload scale for the run-all timing")
     parser.add_argument("--skip-run-all", action="store_true",
                         help="kernel numbers only (fast)")
+    parser.add_argument("--check", action="store_true",
+                        help="replay suite: compare against the checked-in "
+                             "baseline instead of overwriting it")
     args = parser.parse_args(argv)
+    out = args.out or f"BENCH_{args.suite}.json"
 
-    pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
-    vector = bench_kernel(_warm_distances_vector, pages, args.repeats)
-    # best-of-1 for the slow reference loop; it has no warm-up effects
-    fenwick = bench_kernel(_reuse_distances_fenwick, pages, 1)
-    report = {
-        "generated": time.strftime("%Y-%m-%d"),
-        "trace": {"distribution": "uniform", "distinct_pages": args.distinct, "seed": 1},
-        "kernels": {"vector": vector, "fenwick": fenwick},
-        "vector_speedup": round(fenwick["seconds"] / vector["seconds"], 1),
-    }
-    if not args.skip_run_all:
-        report["run_all"] = bench_run_all(args.scale)
+    if args.suite == "replay":
+        report = bench_replay(args.accesses, args.repeats)
+        if args.check:
+            return check_replay_regression(report, out)
+    else:
+        pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
+        vector = bench_kernel(_warm_distances_vector, pages, args.repeats)
+        # best-of-1 for the slow reference loop; it has no warm-up effects
+        fenwick = bench_kernel(_reuse_distances_fenwick, pages, 1)
+        report = {
+            "generated": time.strftime("%Y-%m-%d"),
+            "trace": {"distribution": "uniform", "distinct_pages": args.distinct, "seed": 1},
+            "kernels": {"vector": vector, "fenwick": fenwick},
+            "vector_speedup": round(fenwick["seconds"] / vector["seconds"], 1),
+        }
+        if not args.skip_run_all:
+            report["run_all"] = bench_run_all(args.scale)
 
-    with open(args.out, "w") as fh:
+    with open(out, "w") as fh:
         json.dump(report, fh, indent=1)
         fh.write("\n")
     json.dump(report, sys.stdout, indent=1)

@@ -46,10 +46,13 @@ __all__ = [
     "clear_cache",
     "trace_key",
     "features_key",
+    "replay_key",
     "load_trace",
     "store_trace",
     "load_features",
     "store_features",
+    "load_replay",
+    "store_replay",
 ]
 
 _LAYOUT = "v1"
@@ -207,6 +210,54 @@ def load_features(spec, scale: float, seed: int | None) -> PageFeatures | None:
         value = arrays[f.name].item()
         kwargs[f.name] = int(value) if f.type == "int" else float(value)
     return PageFeatures(mrc=mrc, **kwargs)
+
+
+# -- replay classifications --------------------------------------------------
+
+def replay_key(trace_digest: str, capacity: int, active_ratio: float) -> dict:
+    """Cache key of one batched-replay classification.
+
+    Content-addressed by the trace bytes (not the synthesis spec), so any
+    trace — synthesized, loaded, or sliced — caches uniformly; the reuse
+    kernel and replay versions guard against algorithm drift.
+    """
+    from repro.swap.replay import REPLAY_VERSION
+
+    return {
+        "trace_digest": trace_digest,
+        "capacity": capacity,
+        "active_ratio": active_ratio,
+        "kernel_version": KERNEL_VERSION,
+        "replay_version": REPLAY_VERSION,
+    }
+
+
+_REPLAY_ARRAYS = ("fault_pos", "evict_pos", "evict_page", "clean", "far_end",
+                  "final_active", "final_inactive", "touched")
+_REPLAY_SCALARS = ("n_accesses", "file_skips", "hits", "cold_allocations",
+                   "lru_promotions", "lru_demotions")
+
+
+def store_replay(trace_digest: str, capacity: int, active_ratio: float,
+                 classification) -> None:
+    """Persist one phase-1 classification (arrays + counter scalars)."""
+    arrays = {name: getattr(classification, name) for name in _REPLAY_ARRAYS}
+    for name in _REPLAY_SCALARS:
+        arrays[name] = np.int64(getattr(classification, name))
+    _store("replay", replay_key(trace_digest, capacity, active_ratio), arrays)
+
+
+def load_replay(trace_digest: str, capacity: int, active_ratio: float):
+    """Load a phase-1 classification, or None on a miss."""
+    from repro.swap.replay import ReplayClassification
+
+    names = _REPLAY_ARRAYS + _REPLAY_SCALARS
+    arrays = _load("replay", replay_key(trace_digest, capacity, active_ratio), names)
+    if arrays is None:
+        return None
+    kwargs = {name: np.ascontiguousarray(arrays[name]) for name in _REPLAY_ARRAYS}
+    kwargs.update({name: int(arrays[name]) for name in _REPLAY_SCALARS})
+    return ReplayClassification(**kwargs)
 
 
 # -- management --------------------------------------------------------------

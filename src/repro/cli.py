@@ -6,8 +6,14 @@ Subcommands::
     xdm-repro run table06 [--scale S] [--seed N] [--csv]
     xdm-repro run all [--jobs N]        # every experiment, text tables
     xdm-repro workloads                 # Table V with fused characteristics
+    xdm-repro replay bert [--engine both] [--backend ssd] [--fm-ratio R]
     xdm-repro cache info|clear          # persistent artifact cache
     xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
+
+``replay`` executes one workload trace through the swap stack with the
+batched fault-replay engine, the per-access event loop, or both (printing
+the counter diff — empty when the engines agree, which they must).  The
+same selection is available to every experiment via ``REPRO_REPLAY``.
 
 Result tables go to stdout; per-experiment wall time and cache-hit counts
 go to stderr, so stdout is byte-identical across serial/parallel runs and
@@ -55,6 +61,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f", cache {outcome.cache_hits}/{lookups} hits" if lookups else ""
         )
         print(f"   {outcome.name}: {outcome.elapsed:.2f}s{cache_note}", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.devices.registry import BackendKind, make_device
+    from repro.simcore import Simulator
+    from repro.swap.executor import SwapExecutor
+    from repro.swap.replay import REPLAY_ENV
+
+    if args.workload not in TABLE_V:
+        print(f"unknown workload {args.workload!r}; see 'xdm-repro workloads'",
+              file=sys.stderr)
+        return 2
+    kind = BackendKind(args.backend)
+    w = TABLE_V[args.workload]
+    trace = w.trace(args.scale, args.seed)
+    if args.max_accesses and len(trace) > args.max_accesses:
+        trace = trace.slice(0, args.max_accesses)
+    local = max(2, int(w.features(args.scale).mrc.n_pages * (1.0 - args.fm_ratio)))
+    engines = ("batch", "event") if args.engine == "both" else (args.engine,)
+    counters = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+                "swap_outs", "clean_drops", "file_skips")
+    results = {}
+    for engine in engines:
+        os.environ[REPLAY_ENV] = engine
+        sim = Simulator()
+        executor = SwapExecutor(sim, make_device(sim, kind), kind, local_pages=local)
+        results[engine] = executor.run(trace)
+    print(f"workload={args.workload} backend={kind} local_pages={local} "
+          f"accesses={len(trace)}")
+    for engine in engines:
+        res = results[engine]
+        stats = " ".join(f"{c}={getattr(res, c)}" for c in counters[1:])
+        print(f"  {engine:5s}: {stats}")
+        print(f"         sim_time={res.sim_time:.6f}s "
+              f"mean_fault_latency={res.fault_latency.mean * 1e6:.2f}us")
+    if len(engines) == 2:
+        diff = [c for c in counters
+                if getattr(results["batch"], c) != getattr(results["event"], c)]
+        if diff:
+            print(f"  COUNTER MISMATCH: {', '.join(diff)}")
+            return 1
+        print("  engines agree on every counter")
     return 0
 
 
@@ -107,6 +156,24 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--no-cache", action="store_true",
                        help="disable the persistent artifact cache for this run")
     p_run.set_defaults(func=_cmd_run)
+
+    p_replay = sub.add_parser(
+        "replay", help="execute one workload trace through the swap stack"
+    )
+    p_replay.add_argument("workload", help="Table V workload name")
+    p_replay.add_argument("--engine", choices=("batch", "event", "both"),
+                          default="batch",
+                          help="replay engine: batched, per-access event loop, "
+                               "or both with a counter diff (default batch)")
+    p_replay.add_argument("--backend", default="ssd",
+                          help="far-memory backend kind (default ssd)")
+    p_replay.add_argument("--fm-ratio", type=float, default=0.5,
+                          help="far-memory share of the footprint (default 0.5)")
+    p_replay.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_replay.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p_replay.add_argument("--max-accesses", type=int, default=200_000,
+                          help="truncate the trace (0 = full; default 200000)")
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
     p_cache.add_argument("action", choices=("info", "clear"))

@@ -214,6 +214,58 @@ class FarMemoryDevice:
         """Inline variant of :meth:`write` for ``yield from``."""
         return self._io(nbytes, write=True, granularity=granularity, weight=weight)
 
+    def read_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline DES process for ``count`` single-granule reads as one flow.
+
+        Timing-equivalent to ``count`` sequential :meth:`read_gen` calls of
+        one granule each on an uncontended device (the command phase is
+        ``count`` full per-op costs *including* the per-request setup, and
+        the payload stages move ``count`` granules), but costs O(1) DES
+        events instead of O(count) — the epoch-batched fault replay's
+        aggregate swap-in flow.
+        """
+        return self._io_batch(count, write=False, granularity=granularity, weight=weight)
+
+    def write_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline batched variant of :meth:`write_gen`; see :meth:`read_batch_gen`."""
+        return self._io_batch(count, write=True, granularity=granularity, weight=weight)
+
+    def _io_batch(self, count: int, write: bool, granularity: int, weight: float):
+        if count <= 0:
+            return 0.0
+        if granularity <= 0:
+            raise ConfigurationError(f"granularity must be positive, got {granularity}")
+        start = self.sim.now
+        grant = self.channel_pool.try_acquire()
+        if grant is None:
+            grant = yield self.channel_pool.request()
+        try:
+            moved = count * granularity
+            # each batched op pays the full single-op serial cost, setup
+            # included — one-granule requests pay setup per request
+            command = count * (
+                self.profile.setup_cost + self._op_cost(write, granularity)
+            )
+            yield self.sim.timeout(command)
+            media = self._media_write if write else self._media_read
+            stages = [media.transfer(moved, weight=weight)]
+            if self.link is not None:
+                stages.append(self.link.transfer(moved, weight=weight))
+            if self.switch is not None:
+                stages.append(self.switch.transfer(moved, weight=weight))
+            if len(stages) == 1:
+                yield stages[0]
+            else:
+                yield self.sim.all_of(stages)
+        finally:
+            self.channel_pool.release(grant)
+        self.ops += count
+        if write:
+            self.bytes_written += moved
+        else:
+            self.bytes_read += moved
+        return self.sim.now - start
+
     def _io(self, nbytes: int, write: bool, granularity: int, weight: float):
         if nbytes <= 0:
             return 0.0

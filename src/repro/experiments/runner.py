@@ -28,6 +28,7 @@ from repro.experiments import (
     fig18,
     fig19,
     online_study,
+    replay_validation,
     table06,
     table07,
     tier_study,
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "ablation": ablation.run,
     "cxl_study": cxl_study.run,
     "des_validation": des_validation.run,
+    "replay_validation": replay_validation.run,
     "online_study": online_study.run,
     "tier_study": tier_study.run,
 }

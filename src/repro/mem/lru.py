@@ -7,6 +7,22 @@ promoted on a second touch, and reclaim scans inactive before active —
 which is what gives co-located workloads on a *shared* swap channel their
 mutual interference (a burst from one tenant flushes the other's inactive
 list; the paper's Fig 17 quantifies the resulting latency).
+
+Both structures also offer *batched replay* over a whole page-id array:
+
+* :func:`lru_replay` resolves exact LRU fully vectorized from one reuse-
+  distance pass (hit iff stack distance < capacity; the k-th eviction
+  pairs with the k-th access whose next reuse distance reaches capacity);
+* :meth:`ActiveInactiveLRU.replay` walks the two-generation lists in
+  epochs of ``min(capacity - max_active, max_active) - 1`` accesses: no
+  page touched inside such an epoch can come back up for reclaim within
+  it, so re-touches are hits resolved in bulk and only the first and
+  second touches per distinct page per epoch need sequential treatment.
+
+Replays are bit-identical to the per-access loops (the equivalence tests
+lock this in) but an order of magnitude cheaper on skewed traces — they
+are what the batched fault-replay engine (:mod:`repro.swap.replay`) is
+built on.
 """
 
 from __future__ import annotations
@@ -15,7 +31,74 @@ from collections import OrderedDict
 from collections.abc import Callable
 from typing import Hashable
 
-__all__ = ["LRUCache", "ActiveInactiveLRU"]
+import numpy as np
+
+__all__ = ["LRUCache", "ActiveInactiveLRU", "LRUReplayLog", "lru_replay"]
+
+#: Below this epoch length the vectorized two-generation replay falls back
+#: to the per-access loop — numpy overhead beats the win on tiny caches.
+_MIN_EPOCH = 32
+
+#: Epoch sweeps stop paying off once this fraction of a warm epoch's
+#: accesses are first/second touches (each one is sequential work anyway);
+#: past it the replay hands the rest of the trace to the inline loop.
+_LOOP_DENSITY = 0.15
+
+
+class LRUReplayLog:
+    """Outcome of a batched replay: per-access hits plus the victim stream.
+
+    ``hits[t]`` is True iff access ``t`` hit; eviction ``k`` was triggered
+    by the access at ``evict_pos[k]`` and removed page ``evict_page[k]``
+    (positions are non-decreasing — the in-order victim export the swap
+    replay engine classifies into writebacks and clean drops).
+    """
+
+    __slots__ = ("hits", "evict_pos", "evict_page")
+
+    def __init__(self, hits: np.ndarray, evict_pos: np.ndarray, evict_page: np.ndarray) -> None:
+        self.hits = hits
+        self.evict_pos = evict_pos
+        self.evict_page = evict_page
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LRUReplayLog n={self.hits.shape[0]} hits={int(self.hits.sum())} "
+            f"evictions={self.evict_pos.shape[0]}>"
+        )
+
+
+def lru_replay(pages: np.ndarray, capacity: int) -> LRUReplayLog:
+    """Replay ``pages`` through an exact LRU of ``capacity``, vectorized.
+
+    Equivalent to feeding every page to :meth:`LRUCache.access` and
+    recording hits and eviction victims, but resolved from one reuse-
+    distance pass (Mattson): an access hits iff its stack distance is
+    below ``capacity``; evictions start at the ``capacity+1``-th miss and
+    the k-th eviction removes the page of the k-th access whose *next*
+    reuse distance is >= ``capacity`` (or that is never re-accessed) —
+    under exact LRU victims leave in the order of their last touch.
+    """
+    from repro.mem.reuse import COLD, _prev_occurrence, reuse_distances
+
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    pages = np.ascontiguousarray(np.asarray(pages, dtype=np.int64))
+    n = int(pages.shape[0])
+    dist = reuse_distances(pages)
+    hits = dist < capacity  # COLD sorts above any real capacity
+    miss_pos = np.flatnonzero(~hits)
+    evict_pos = np.ascontiguousarray(miss_pos[capacity:])
+    if evict_pos.size == 0:
+        return LRUReplayLog(hits, evict_pos, np.empty(0, dtype=np.int64))
+    prev = _prev_occurrence(pages, n)
+    warm = np.flatnonzero(prev >= 0)
+    # next_dist[t] = stack distance of the next access to pages[t]
+    next_dist = np.full(n, COLD, dtype=np.int64)  # never re-accessed
+    next_dist[prev[warm]] = dist[warm]
+    candidates = np.flatnonzero(next_dist >= capacity)
+    evict_page = np.ascontiguousarray(pages[candidates[: evict_pos.size]])
+    return LRUReplayLog(hits, evict_pos, evict_page)
 
 
 class LRUCache:
@@ -176,6 +259,303 @@ class ActiveInactiveLRU:
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
+
+    # -- batched replay ----------------------------------------------------
+    def replay(self, pages: np.ndarray) -> LRUReplayLog:
+        """Touch every page in ``pages`` in order, batched.
+
+        Bit-identical to calling :meth:`access` per element — same final
+        list contents *and order*, same counters — but the common case is
+        resolved in numpy epochs.  Victims are returned in the log rather
+        than delivered through ``on_evict`` (which must be unset: a
+        callback observes interleaved state the batch path skips over).
+
+        Epoch invariant: with ``E = min(capacity - max_active, max_active)
+        - 1`` accesses per epoch and the lists at capacity, the reclaim
+        scan can consume at most one inactive entry per miss and skips at
+        most one per promotion, so it never reaches entries appended
+        within the epoch — a page touched in an epoch cannot be evicted in
+        it, and every re-touch is a guaranteed hit.  The demotion scan is
+        bounded the same way by ``E <= max_active``.  Only the first touch
+        of each distinct page per epoch is walked sequentially; list order
+        at the epoch boundary is rebuilt from last-touch positions.
+        """
+        if self.on_evict is not None:
+            raise ValueError("replay() with an on_evict callback; victims are returned in the log")
+        pages = np.ascontiguousarray(np.asarray(pages, dtype=np.int64))
+        n = int(pages.shape[0])
+        hits_mask = np.zeros(n, dtype=bool)
+        ev_pos_parts: list[np.ndarray] = []
+        ev_page_parts: list[np.ndarray] = []
+        cap = self.capacity
+        max_active = max(1, int(cap * self.active_ratio))
+        epoch = min(cap - max_active, max_active) - 1
+        if epoch < _MIN_EPOCH:
+            self._replay_loop(pages, 0, n, hits_mask, ev_pos_parts, ev_page_parts)
+        else:
+            i = self._replay_epochs(pages, 0, n, epoch, max_active,
+                                    hits_mask, ev_pos_parts, ev_page_parts)
+            if i < n:  # low-locality trace: the inline loop is cheaper
+                self._replay_loop(pages, i, n, hits_mask, ev_pos_parts, ev_page_parts)
+        if ev_pos_parts:
+            evict_pos = np.concatenate(ev_pos_parts)
+            evict_page = np.concatenate(ev_page_parts)
+        else:
+            evict_pos = np.empty(0, dtype=np.int64)
+            evict_page = np.empty(0, dtype=np.int64)
+        return LRUReplayLog(hits_mask, evict_pos, evict_page)
+
+    def _replay_loop(self, pages, start, stop, hits_mask, ev_pos_parts, ev_page_parts) -> int:
+        """Per-access path with :meth:`access` inlined and bulk bookkeeping.
+
+        One insert raises the total by at most one, so reclaim never needs
+        the demote-then-retry branch: the inactive list is non-empty right
+        after the insert (possibly holding only the new page itself, which
+        is then the victim — exactly what :meth:`_reclaim` does).
+        """
+        active = self._active
+        inactive = self._inactive
+        cap = self.capacity
+        max_active = max(1, int(cap * self.active_ratio))
+        a_move = active.move_to_end
+        a_pop = active.popitem
+        i_pop = inactive.popitem
+        hits = promotions = demotions = 0
+        miss_pos: list[int] = []
+        miss_app = miss_pos.append
+        ev_pos: list[int] = []
+        ev_pg: list[int] = []
+        ev_pos_app = ev_pos.append
+        ev_pg_app = ev_pg.append
+        nact = len(active)
+        ntotal = nact + len(inactive)
+        for pos, p in enumerate(pages[start:stop].tolist(), start):
+            if p in active:
+                a_move(p)
+                hits += 1
+                continue
+            if p in inactive:
+                del inactive[p]
+                active[p] = None
+                hits += 1
+                promotions += 1
+                nact += 1
+                while nact > max_active:
+                    v, _ = a_pop(last=False)
+                    inactive[v] = None
+                    demotions += 1
+                    nact -= 1
+                continue
+            miss_app(pos)
+            inactive[p] = None
+            if ntotal < cap:
+                ntotal += 1
+                continue
+            v, _ = i_pop(last=False)
+            ev_pos_app(pos)
+            ev_pg_app(v)
+        self.hits += hits
+        self.misses += len(miss_pos)
+        self.promotions += promotions
+        self.demotions += demotions
+        self.evictions += len(ev_pos)
+        hits_mask[start:stop] = True
+        if miss_pos:
+            hits_mask[np.asarray(miss_pos, dtype=np.int64)] = False
+        if ev_pos:
+            ev_pos_parts.append(np.asarray(ev_pos, dtype=np.int64))
+            ev_page_parts.append(np.asarray(ev_pg, dtype=np.int64))
+        return stop
+
+    @staticmethod
+    def _in_sorted(arr: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """Membership mask of ``arr`` against a *sorted unique* ``table``."""
+        if table.size == 0:
+            return np.zeros(arr.shape, dtype=bool)
+        idx = np.searchsorted(table, arr)
+        idx[idx == table.size] = 0  # out-of-range probes; equality rejects
+        return table[idx] == arr
+
+    def _replay_epochs(self, pages, i, n, epoch, max_active,
+                       hits_mask, ev_pos_parts, ev_page_parts) -> int:
+        """Epoch-batched replay, including warm-up below capacity.
+
+        Per-page state packs ``(last_touch_epoch << 2) | list_code`` into
+        one int (code 1 = inactive, 2 = active, 0 = out), so "touched in
+        the current epoch" is one compare and no per-epoch reset pass is
+        needed.  Reclaim only engages once the lists reach capacity
+        (``ntotal`` tracks growth), which keeps warm-up on the same path:
+        the demotion bound never depended on full lists, and in the epoch
+        that crosses capacity the reclaim scan consumes at most
+        ``E - (capacity - start_total)`` entries — within the inactive
+        snapshot because the active share is capped at ``max_active``.
+
+        The epoch path only pays off while few accesses need sequential
+        treatment; once a warm epoch's first/second-touch density exceeds
+        ``_LOOP_DENSITY`` the method writes the lists back and returns the
+        resume position for the inline per-access loop (which beats the
+        numpy glue on low-locality traces).  Returns ``n`` when done.
+        """
+        cap = self.capacity
+        state: dict[int, int] = {}
+        for p in self._active:
+            state[p] = 2
+        for p in self._inactive:
+            state[p] = 1
+        act_order = np.fromiter(self._active, count=len(self._active), dtype=np.int64)
+        inact_order = np.fromiter(self._inactive, count=len(self._inactive), dtype=np.int64)
+        nact = int(act_order.shape[0])
+        ntotal = nact + int(inact_order.shape[0])
+        d_hits = d_misses = d_promotions = d_demotions = d_evictions = 0
+        in_sorted = self._in_sorted
+        eidx = 0
+        while i < n:
+            eidx += 1
+            tag = eidx << 2
+            was_warm = ntotal == cap
+            j = min(i + epoch, n)
+            chunk = pages[i:j]
+            m = j - i
+            # One stable sort yields per-page first/second/last positions:
+            # within a group of equal pages the permutation keeps access
+            # order, so group starts/ends map straight to touch indices.
+            order = np.argsort(chunk, kind="stable")
+            sorted_pages = chunk[order]
+            group = np.empty(m, dtype=bool)
+            group[0] = True
+            np.not_equal(sorted_pages[1:], sorted_pages[:-1], out=group[1:])
+            starts = np.flatnonzero(group)
+            ends = np.concatenate([starts[1:], [m]])
+            uniq = sorted_pages[starts]  # sorted: the membership table below
+            multi = (ends - starts) >= 2
+            first_idx = order[starts]
+            last_idx = order[ends - 1]
+            second_idx = order[starts[multi] + 1]
+            # The sweep needs each page's first touch (hit/miss resolution)
+            # *and* second touch (a missed page promotes when re-touched);
+            # third and later touches are guaranteed active-hit no-ops.
+            if second_idx.size:
+                event_idx = np.sort(np.concatenate([first_idx, second_idx]))
+            else:
+                event_idx = np.sort(first_idx)
+            # -- sequential sweep over first/second touches, in order ------
+            act_snap = act_order.tolist()
+            inact_snap = inact_order.tolist()
+            n_act_snap = len(act_snap)
+            n_inact_snap = len(inact_snap)
+            d_ptr = e_ptr = 0
+            miss_local: list[int] = []
+            app_page: list[int] = []   # inactive-tail appends (inserts + demotions)
+            demoted: list[int] = []
+            evicted: list[int] = []
+            evicted_at: list[int] = []
+            sget = state.get
+            for pos, p in zip(event_idx.tolist(), chunk[event_idx].tolist()):
+                rec = sget(p, 0)
+                code = rec & 3
+                if code == 2:
+                    if rec < tag:
+                        state[p] = tag | 2  # first active touch: mark recency
+                    continue
+                if code == 1:
+                    # hit on inactive: promote, then demote while over-share
+                    state[p] = tag | 2
+                    d_promotions += 1
+                    nact += 1
+                    while nact > max_active:
+                        while True:
+                            if d_ptr >= n_act_snap:  # unreachable: E < max_active
+                                raise RuntimeError("two-gen replay: demotion scan exhausted")
+                            v = act_snap[d_ptr]
+                            d_ptr += 1
+                            rv = sget(v, 0)
+                            if rv & 3 == 2 and rv < tag:  # untouched, still active
+                                break
+                        state[v] = tag | 1
+                        demoted.append(v)
+                        app_page.append(v)
+                        d_demotions += 1
+                        nact -= 1
+                    continue
+                # miss: insert at inactive tail, reclaim the inactive head
+                miss_local.append(pos)
+                state[p] = tag | 1
+                app_page.append(p)
+                if ntotal < cap:
+                    ntotal += 1
+                    continue
+                while True:
+                    if e_ptr >= n_inact_snap:  # unreachable: E < inactive size
+                        raise RuntimeError("two-gen replay: reclaim scan exhausted")
+                    v = inact_snap[e_ptr]
+                    e_ptr += 1
+                    if sget(v, 0) & 3 == 1:  # untouched snapshot entry, in place
+                        break
+                state[v] = 0
+                d_evictions += 1
+                evicted.append(v)
+                evicted_at.append(pos)
+            # -- bulk hit bookkeeping -------------------------------------
+            hits_mask[i:j] = True
+            if miss_local:
+                miss_arr = np.asarray(miss_local, dtype=np.int64)
+                hits_mask[i + miss_arr] = False
+                if evicted:
+                    ev_pos_parts.append(i + np.asarray(evicted_at, dtype=np.int64))
+                    ev_page_parts.append(np.asarray(evicted, dtype=np.int64))
+            d_hits += m - len(miss_local)
+            d_misses += len(miss_local)
+            # -- rebuild list order at the epoch boundary -----------------
+            # Touched pages end on active unless first-touched by a miss
+            # and never re-touched; ordered among themselves by last touch
+            # (each later touch is an active-hit move-to-end).
+            first_hit = hits_mask[i + first_idx]
+            ends_active = first_hit | multi
+            act_new_pages = uniq[ends_active]
+            act_new = act_new_pages[np.argsort(last_idx[ends_active])]
+            act_rm = in_sorted(act_order, uniq)
+            if demoted:
+                act_rm |= in_sorted(act_order, np.sort(np.asarray(demoted, dtype=np.int64)))
+            act_keep = act_order[~act_rm]
+            inact_rm = in_sorted(inact_order, uniq)
+            if evicted:
+                inact_rm |= in_sorted(inact_order, np.sort(np.asarray(evicted, dtype=np.int64)))
+            inact_keep = inact_order[~inact_rm]
+            if app_page:
+                appended = np.asarray(app_page, dtype=np.int64)
+                inact_new = appended[~in_sorted(appended, act_new_pages)]
+            else:
+                inact_new = np.empty(0, dtype=np.int64)
+            act_order = np.concatenate([act_keep, act_new])
+            inact_order = np.concatenate([inact_keep, inact_new])
+            if int(act_order.shape[0]) != nact or nact + int(inact_order.shape[0]) != ntotal:
+                raise RuntimeError("two-gen replay: list-size conservation violated")
+            i = j
+            if was_warm and event_idx.shape[0] > _LOOP_DENSITY * m:
+                break
+        self._active = OrderedDict.fromkeys(act_order.tolist())
+        self._inactive = OrderedDict.fromkeys(inact_order.tolist())
+        self.hits += d_hits
+        self.misses += d_misses
+        self.promotions += d_promotions
+        self.demotions += d_demotions
+        self.evictions += d_evictions
+        return i
+
+    def state_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current (active, inactive) list contents, LRU-first, as arrays."""
+        return (
+            np.fromiter(self._active, count=len(self._active), dtype=np.int64),
+            np.fromiter(self._inactive, count=len(self._inactive), dtype=np.int64),
+        )
+
+    def restore_state(self, active: np.ndarray, inactive: np.ndarray) -> None:
+        """Overwrite list contents/order from :meth:`state_arrays` output."""
+        total = int(active.shape[0]) + int(inactive.shape[0])
+        if total > self.capacity:
+            raise ValueError(f"state holds {total} pages, capacity is {self.capacity}")
+        self._active = OrderedDict.fromkeys(active.tolist())
+        self._inactive = OrderedDict.fromkeys(inactive.tolist())
 
     def discard(self, key: Hashable) -> bool:
         """Drop ``key`` from whichever list holds it."""

@@ -351,6 +351,31 @@ class MissRatioCurve:
         """Accesses that miss (cold + capacity) at ``cache_pages``."""
         return self.n_accesses - self.hits(cache_pages)
 
+    # -- one-pass capacity sweeps (Mattson) -------------------------------
+    def hits_at(self, cache_pages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`hits` over an array of capacities.
+
+        One reuse pass prices **every** local-memory budget, so a
+        far-memory-ratio sweep is a single fancy-index instead of one
+        replay per ratio.
+        """
+        caps = np.asarray(cache_pages, dtype=np.int64)
+        if caps.size and int(caps.min()) < 0:
+            raise ValueError("cache_pages must all be >= 0")
+        idx = np.minimum(caps - 1, len(self._cum_hits) - 1)
+        out = self._cum_hits[np.maximum(idx, 0)]
+        return np.where(caps > 0, out, 0)
+
+    def misses_at(self, cache_pages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`misses` over an array of capacities."""
+        return self.n_accesses - self.hits_at(cache_pages)
+
+    def miss_ratio_at(self, cache_pages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`miss_ratio` over an array of capacities."""
+        if self.n_accesses == 0:
+            return np.zeros(np.asarray(cache_pages).shape, dtype=np.float64)
+        return self.misses_at(cache_pages) / float(self.n_accesses)
+
     def capacity_misses(self, cache_pages: int) -> int:
         """Misses excluding compulsory (first-touch) ones."""
         return self.misses(cache_pages) - self.cold_misses

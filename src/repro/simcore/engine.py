@@ -222,6 +222,11 @@ class Simulator:
         """Current simulated time in seconds."""
         return self._now
 
+    @property
+    def idle(self) -> bool:
+        """True when no events are pending (nothing scheduled to fire)."""
+        return not self._heap
+
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:

@@ -39,6 +39,33 @@ class OnlineStats:
         if x > self.maximum:
             self.maximum = x
 
+    def add_repeat(self, x: float, count: int) -> None:
+        """Record ``count`` observations of the same value ``x``.
+
+        O(1) whatever ``count`` is — how batched replay credits one
+        aggregate fault flow with its per-fault latency share.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.total += x * count
+        if self.n == 0:
+            self.n = count
+            self._mean = x
+            self.minimum = x
+            self.maximum = x
+            return
+        n = self.n + count
+        delta = x - self._mean
+        self._m2 += delta * delta * self.n * count / n
+        self._mean += delta * count / n
+        self.n = n
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
     def merge(self, other: "OnlineStats") -> "OnlineStats":
         """Fold ``other`` into ``self`` (parallel-combine of Welford states)."""
         if other.n == 0:

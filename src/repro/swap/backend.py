@@ -160,6 +160,45 @@ class SwapBackendModule:
 
         return gen()
 
+    def store_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline DES process: one aggregate write flow for ``count`` page
+        stores.
+
+        Timing-equivalent to ``count`` sequential :meth:`store_gen` calls
+        on an uncontended device but O(1) DES events.  No per-page slot or
+        map bookkeeping happens here — batched callers reconcile the final
+        far-resident set once via :meth:`adopt_pages` (the swap map is only
+        observable between accesses, which batch replay never is).
+        """
+        self._require_active()
+
+        def gen():
+            yield from self.device.write_batch_gen(count, granularity=granularity, weight=weight)
+            self.pages_stored += count
+            return count
+
+        return gen()
+
+    def load_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline DES process: one aggregate read flow for ``count`` page
+        loads, all with swap-cache ``keep`` semantics (no slots released).
+        """
+        self._require_active()
+
+        def gen():
+            yield from self.device.read_batch_gen(count, granularity=granularity, weight=weight)
+            self.pages_loaded += count
+            return count
+
+        return gen()
+
+    def adopt_pages(self, pages) -> None:
+        """Materialize map + slots for pages stored through batched flows."""
+        for page in pages:
+            if page in self._map:
+                raise SwapError(f"page {page} already stored on {self.name}")
+            self._map[int(page)] = self.slots.allocate()
+
     def invalidate(self, page: int) -> None:
         """Drop a retained swap-cache copy without any I/O (page dirtied)."""
         if page not in self._map:

@@ -27,6 +27,7 @@ accesses; use the analytic layer for sweeps.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.devices.base import FarMemoryDevice
@@ -38,6 +39,7 @@ from repro.simcore import OnlineStats, Simulator
 from repro.swap.backend import build_backend_module
 from repro.swap.frontend import SwapFrontend
 from repro.swap.pathmodel import FAULT_COST, SwapConfig
+from repro.swap.replay import REPLAY_ENV, replay_run
 from repro.trace.schema import PageTrace
 
 __all__ = ["SwapExecutionResult", "SwapExecutor"]
@@ -104,10 +106,43 @@ class SwapExecutor:
 
     # -- execution -----------------------------------------------------------
     def run(self, trace: PageTrace) -> SwapExecutionResult:
-        """Execute the whole trace; returns the accumulated counters."""
+        """Execute the whole trace; returns the accumulated counters.
+
+        ``REPRO_REPLAY=batch`` (the default) delegates eligible runs —
+        cold single-tenant stacks with an idle simulator — to the batched
+        fault-replay engine (:mod:`repro.swap.replay`), which produces
+        bit-identical counters from a vectorized classification pass plus
+        aggregate DES admission.  ``REPRO_REPLAY=event`` forces the exact
+        per-access loop (the reference the equivalence tests compare
+        against); warm or multi-tenant executors always take it.
+        """
+        mode = os.environ.get(REPLAY_ENV, "batch")
+        if mode not in ("batch", "event"):
+            raise ConfigurationError(
+                f"unknown {REPLAY_ENV}={mode!r}; expected 'batch' or 'event'"
+            )
+        if mode == "batch" and self._batch_eligible():
+            return replay_run(self, trace)
         done = self.sim.process(self._run_proc(trace), name="exec:run")
         self.sim.run(until=done)
         return self.result
+
+    def _batch_eligible(self) -> bool:
+        """Whether batched replay reproduces this run exactly.
+
+        The classification pass assumes the access outcome stream is
+        predetermined by the trace alone: nothing may be resident or
+        swapped out yet, no counters accumulated, and no concurrent DES
+        activity that the per-access loop would interleave with.
+        """
+        return (
+            self.sim.idle
+            and self.result.accesses == 0
+            and not self._touched
+            and len(self.lru) == 0
+            and not self._evicted
+            and self.frontend.resident_far_pages == 0
+        )
 
     def _run_proc(self, trace: PageTrace):
         res = self.result

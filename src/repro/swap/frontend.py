@@ -153,6 +153,52 @@ class SwapFrontend:
         self.listening_queue.put_nowait(("loaded", page, owner))
         return page
 
+    def store_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline DES process: ``count`` anonymous page stores as one
+        aggregate flow to the active backend.
+
+        The epoch-batched replay engine's writeback admission: identical
+        aggregate timing and counters to ``count`` sequential
+        :meth:`store_page_gen` calls, but O(1) DES events.  Page ownership
+        is reconciled afterwards via :meth:`adopt_far_pages`.
+        """
+        if count <= 0:
+            return 0
+        if self._active is None:
+            raise BackendUnavailableError(f"{self.name}: no active backend")
+        module = self._modules[self._active]
+        yield from module.store_batch_gen(count, granularity=granularity, weight=weight)
+        self.stores += count
+        self.listening_queue.put_nowait(("stored_batch", count, self._active))
+        return count
+
+    def load_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
+        """Inline DES process: ``count`` page faults served as one
+        aggregate flow from the active backend (swap-cache keep
+        semantics, as the executor's fault path uses).
+        """
+        if count <= 0:
+            return 0
+        if self._active is None:
+            raise BackendUnavailableError(f"{self.name}: no active backend")
+        module = self._modules[self._active]
+        yield from module.load_batch_gen(count, granularity=granularity, weight=weight)
+        self.loads += count
+        self.listening_queue.put_nowait(("loaded_batch", count, self._active))
+        return count
+
+    def adopt_far_pages(self, pages, backend: str | None = None) -> None:
+        """Record ``pages`` as far-resident on ``backend`` (default: the
+        active one), materializing backend map + slots — the batch
+        replay's end-of-run ownership sync."""
+        name = backend if backend is not None else self._active
+        if name is None:
+            raise BackendUnavailableError(f"{self.name}: no active backend")
+        module = self.module(name)
+        module.adopt_pages(pages)
+        for page in pages:
+            self._owner[int(page)] = name
+
     def invalidate_page(self, page: int) -> None:
         """Drop a retained far copy (the resident page was dirtied)."""
         owner = self._owner.pop(page, None)

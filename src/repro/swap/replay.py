@@ -1,0 +1,343 @@
+"""Batched fault-replay engine: classify once, admit in bulk.
+
+The event-level :class:`~repro.swap.executor.SwapExecutor` walks a trace
+one access at a time through the DES — faithful, but ~10⁵–10⁶ events per
+million accesses.  For a *single-tenant* run starting from a cold stack,
+every one of those events is predetermined by the trace and the LRU
+policy alone: nothing the DES resolves (device service times, channel
+waits) feeds back into *which* accesses hit, fault, or evict.  This
+module exploits that by splitting the run into two phases:
+
+**Phase 1 — vectorized classification** (:func:`classify_trace`).  The
+anonymous sub-trace is pushed through the batched two-generation replay
+(:meth:`~repro.mem.lru.ActiveInactiveLRU.replay`), misses split into cold
+allocations vs capacity faults via one previous-occurrence pass, and the
+in-order victim stream split into writebacks vs clean drops by replaying
+the swap-cache ownership rules as a segmented scan (see
+:func:`_classify_evictions`).  The same machinery derives the exact miss
+count for **every** capacity from one Mattson reuse pass
+(:func:`trace_mrc`), so capacity sweeps cost one classification, not one
+replay per point.
+
+**Phase 2 — epoch-batched admission** (:func:`replay_run`).  The fault
+and writeback streams are admitted to the DES as aggregate I/O flows per
+fixed window of ``_WINDOW`` accesses, via the frontend/backend/device
+``*_batch_gen`` paths — identical aggregate timing to the per-page ops
+on an uncontended device, but O(windows) DES events instead of
+O(accesses).  Counters come out bit-identical to the event loop and
+``sim_time`` agrees to float round-off; the equivalence suite
+(``tests/test_swap_replay.py``) locks both in.
+
+Selection is by the ``REPRO_REPLAY`` environment variable, read by
+:meth:`SwapExecutor.run`: ``batch`` (default) delegates here whenever the
+run is eligible (cold single-tenant stack), ``event`` forces the exact
+per-access loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem.lru import ActiveInactiveLRU
+from repro.mem.page import PageOp
+from repro.mem.reuse import MissRatioCurve, _prev_occurrence
+from repro.swap.pathmodel import FAULT_COST
+from repro.trace.schema import PageTrace
+
+__all__ = ["ReplayClassification", "classify_trace", "trace_mrc", "replay_run",
+           "REPLAY_VERSION", "REPLAY_ENV"]
+
+#: Bumped whenever classification output could change; part of the
+#: on-disk classification cache key.
+REPLAY_VERSION = 1
+
+#: Environment variable selecting the replay engine ("batch" | "event").
+REPLAY_ENV = "REPRO_REPLAY"
+
+#: Accesses per aggregate admission window in phase 2.  Small enough that
+#: per-window latency attribution stays meaningful, large enough that a
+#: million-access trace needs only a few hundred DES events.
+_WINDOW = 4096  # simlint: ignore[UNIT001] -- access count, not bytes
+
+#: Classifications of traces with at least this many anonymous accesses
+#: are worth persisting; below it the disk round-trip costs more than the
+#: vectorized pass it would save.
+_CACHE_MIN_ANON = 100_000
+
+
+@dataclass
+class ReplayClassification:
+    """Phase-1 output: every access and victim classified, end state known.
+
+    Positions are indices into the *anonymous sub-trace* (the executor
+    never routes file-backed accesses to the swap stack, so anonymous
+    coordinates are the only ones the DES admission needs).
+    """
+
+    n_accesses: int          #: full trace length, file-backed included
+    file_skips: int          #: accesses skipped as file-backed
+    hits: int                #: LRU hits (either generation)
+    cold_allocations: int    #: first touches — zero-fill, no far traffic
+    fault_pos: np.ndarray    #: positions of capacity faults (swap-ins)
+    evict_pos: np.ndarray    #: positions that triggered each eviction
+    evict_page: np.ndarray   #: the victim page of each eviction
+    clean: np.ndarray        #: per eviction: dropped without writeback?
+    far_end: np.ndarray      #: pages holding a valid far copy at end of run
+    final_active: np.ndarray    #: active-list contents at end, LRU-first
+    final_inactive: np.ndarray  #: inactive-list contents at end, LRU-first
+    touched: np.ndarray      #: distinct anonymous pages accessed
+    lru_promotions: int      #: two-generation promotion count
+    lru_demotions: int       #: two-generation demotion count
+
+    @property
+    def faults(self) -> int:
+        """Capacity faults (== swap-ins: every fault fetches its page)."""
+        return int(self.fault_pos.shape[0])
+
+    @property
+    def evictions(self) -> int:
+        """Victims produced by reclaim."""
+        return int(self.evict_pos.shape[0])
+
+    @property
+    def clean_drops(self) -> int:
+        """Victims freed without writeback (valid swap-cache copy)."""
+        return int(self.clean.sum())
+
+    @property
+    def swap_outs(self) -> int:
+        """Victims written back to the far backend."""
+        return self.evictions - self.clean_drops
+
+
+def _classify_evictions(
+    pages: np.ndarray,
+    ops: np.ndarray,
+    evict_pos: np.ndarray,
+    evict_page: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split the victim stream into writebacks vs clean drops; find the
+    pages still holding a valid far copy at end of run.
+
+    Replays the executor's swap-cache ownership rules without the DES: a
+    page gains a far copy at every eviction (writeback, or retained clean
+    copy) and loses it at the first STORE access afterwards (the executor
+    invalidates the diverged copy).  So eviction *k* of page *v* is a
+    clean drop iff an earlier eviction of *v* exists and no STORE access
+    to *v* happened after it — where a STORE at the evicting position
+    itself counts against eviction *k* (the self-eviction path dirties
+    before reclaim drains), while a STORE at the *previous* eviction's
+    position was already consumed by that eviction.  Likewise *v* holds a
+    valid far copy at end of run iff it was ever evicted and its last
+    STORE does not postdate its last eviction.
+
+    Resolved as one segmented scan: merge per-page STORE-access events and
+    eviction events, sort by ``(page, position, store-before-evict)``, and
+    take running maxima of store/eviction positions with a per-group
+    offset so groups cannot bleed into each other.
+    """
+    n_e = int(evict_pos.shape[0])
+    if n_e == 0:
+        return np.zeros(0, dtype=bool), np.empty(0, dtype=np.int64)
+    s_pos = np.flatnonzero(ops == int(PageOp.STORE))
+    s_page = pages[s_pos]
+    n_s = int(s_pos.shape[0])
+    ev_page = np.concatenate([s_page, evict_page])
+    ev_pos = np.concatenate([s_pos, evict_pos])
+    ev_kind = np.concatenate(
+        [np.zeros(n_s, dtype=np.int8), np.ones(n_e, dtype=np.int8)]
+    )
+    # stores sort before evictions at the same (page, position): the
+    # running store-max at an eviction row then already includes the
+    # self-eviction STORE.  Keys are unique per event, so when they pack
+    # into an int64 a single-key argsort replaces the 3-key lexsort.
+    stride = np.int64(2 * (n + 2))
+    maxpage = int(ev_page.max())
+    if maxpage + 1 <= (2**63 - 1) // int(stride):
+        order = np.argsort(ev_page * stride + 2 * ev_pos + ev_kind)
+    else:
+        order = np.lexsort((ev_kind, ev_pos, ev_page))
+    page_s = ev_page[order]
+    pos_s = ev_pos[order]
+    kind_s = ev_kind[order]
+    total = n_s + n_e
+    newg = np.empty(total, dtype=bool)
+    newg[0] = True
+    np.not_equal(page_s[1:], page_s[:-1], out=newg[1:])
+    gid = np.cumsum(newg) - 1
+    # Segmented running max via a per-group offset: with BIG > n + 1 every
+    # value of group g (even the -1 "no event yet" sentinel) exceeds any
+    # offset value of group g-1, so one global cummax respects boundaries.
+    big = np.int64(n + 2)
+    offset = gid * big
+    store_val = np.where(kind_s == 0, pos_s, -1) + offset
+    run_store = np.maximum.accumulate(store_val) - offset
+    evict_val = np.where(kind_s == 1, pos_s, -1) + offset
+    run_evict = np.maximum.accumulate(evict_val) - offset
+    # previous eviction strictly before this row: shift the inclusive scan
+    prev_evict = np.empty(total, dtype=np.int64)
+    prev_evict[0] = -1
+    prev_evict[1:] = run_evict[:-1]
+    prev_evict[newg] = -1
+    evict_rows = np.flatnonzero(kind_s == 1)
+    clean_sorted = (prev_evict[evict_rows] >= 0) & (
+        run_store[evict_rows] <= prev_evict[evict_rows]
+    )
+    # scatter back to the original in-order victim stream (eviction i sat
+    # at merged index n_s + i before sorting)
+    clean = np.empty(n_e, dtype=bool)
+    clean[order[evict_rows] - n_s] = clean_sorted
+    # end-of-run far set, read off each group's last row
+    gend = np.flatnonzero(np.concatenate([newg[1:], [True]]))
+    far_mask = (run_evict[gend] >= 0) & (run_store[gend] <= run_evict[gend])
+    far_end = np.ascontiguousarray(page_s[gend][far_mask])
+    return clean, far_end
+
+
+def classify_trace(
+    trace: PageTrace, capacity: int, active_ratio: float = 0.5,
+    use_cache: bool = True,
+) -> ReplayClassification:
+    """Phase 1: resolve every access and victim of a cold-start run.
+
+    Pure function of (trace contents, capacity, active_ratio) — it builds
+    its own scratch LRU — which is what makes the result persistable in
+    the content-addressed artifact cache (:mod:`repro.cache`): repeated
+    experiment sweeps over the same (trace, capacity) skip the pass
+    entirely.  Traces below ``_CACHE_MIN_ANON`` anonymous accesses bypass
+    the cache (the disk round-trip would dominate).
+    """
+    from repro import cache
+
+    mask = trace.anon_mask
+    cached_ok = (
+        use_cache and cache.cache_enabled() and int(mask.sum()) >= _CACHE_MIN_ANON
+    )
+    digest = trace.content_digest() if cached_ok else None
+    if cached_ok:
+        hit = cache.load_replay(digest, capacity, active_ratio)
+        if hit is not None:
+            return hit
+    result = _classify_uncached(trace, mask, capacity, active_ratio)
+    if cached_ok:
+        cache.store_replay(digest, capacity, active_ratio, result)
+    return result
+
+
+def _classify_uncached(
+    trace: PageTrace, mask: np.ndarray, capacity: int, active_ratio: float
+) -> ReplayClassification:
+    pages = np.ascontiguousarray(trace.pages[mask])
+    ops = np.ascontiguousarray(trace.ops[mask])
+    n = int(trace.pages.shape[0])
+    n_anon = int(pages.shape[0])
+    lru = ActiveInactiveLRU(capacity=capacity, active_ratio=active_ratio)
+    log = lru.replay(pages)
+    if n_anon:
+        prev = _prev_occurrence(pages, n_anon)
+        miss_pos = np.flatnonzero(~log.hits)
+        first = prev[miss_pos] < 0
+        fault_pos = np.ascontiguousarray(miss_pos[~first])
+        cold = int(first.sum())
+        # first occurrences enumerate the distinct pages — no hash pass
+        touched = np.ascontiguousarray(pages[prev < 0])
+    else:
+        fault_pos = np.empty(0, dtype=np.int64)
+        cold = 0
+        touched = np.empty(0, dtype=np.int64)
+    clean, far_end = _classify_evictions(pages, ops, log.evict_pos, log.evict_page, n_anon)
+    active, inactive = lru.state_arrays()
+    return ReplayClassification(
+        n_accesses=n,
+        file_skips=n - n_anon,
+        hits=int(log.hits.sum()),
+        cold_allocations=cold,
+        fault_pos=fault_pos,
+        evict_pos=log.evict_pos,
+        evict_page=log.evict_page,
+        clean=clean,
+        far_end=far_end,
+        final_active=active,
+        final_inactive=inactive,
+        touched=touched,
+        lru_promotions=lru.promotions,
+        lru_demotions=lru.demotions,
+    )
+
+
+def trace_mrc(trace: PageTrace) -> MissRatioCurve:
+    """Exact-LRU miss counts for **every** capacity from one reuse pass.
+
+    Mattson's sweep over the anonymous sub-trace: the curve's
+    :meth:`~repro.mem.reuse.MissRatioCurve.misses_at` answers any
+    capacity in O(1), and matches an exact :class:`~repro.mem.lru.LRUCache`
+    replay miss-for-miss (the cross-check test pins this).
+    """
+    return MissRatioCurve(pages=trace.pages[trace.anon_mask])
+
+
+def replay_run(executor, trace: PageTrace,
+               classification: ReplayClassification | None = None):
+    """Phase 2: apply a classification to ``executor`` through the DES.
+
+    Equivalent to ``executor.run(trace)`` on the event path for an
+    eligible (cold, single-tenant, idle-sim) executor: same counters
+    bit-for-bit, same end state for the LRU lists, touched set, and
+    far-memory ownership, and ``sim_time`` equal up to float round-off.
+    Faults and writebacks are admitted per ``_WINDOW``-access window as
+    aggregate flows; each window charges the kernel fault cost per fault
+    and credits the mean per-fault latency to the latency collector.
+    """
+    cls = classification
+    if cls is None:
+        cls = classify_trace(trace, executor.lru.capacity, executor.lru.active_ratio)
+    sim = executor.sim
+    res = executor.result
+    frontend = executor.frontend
+    res.accesses += cls.n_accesses
+    res.file_skips += cls.file_skips
+    res.hits += cls.hits
+    res.cold_allocations += cls.cold_allocations
+    res.faults += cls.faults
+    res.swap_ins += cls.faults
+    res.swap_outs += cls.swap_outs
+    res.clean_drops += cls.clean_drops
+    lru = executor.lru
+    lru.restore_state(cls.final_active, cls.final_inactive)
+    lru.hits += cls.hits
+    lru.misses += cls.cold_allocations + cls.faults
+    lru.promotions += cls.lru_promotions
+    lru.demotions += cls.lru_demotions
+    lru.evictions += cls.evictions
+    executor._touched.update(cls.touched.tolist())
+    start = sim.now
+    if cls.faults or cls.swap_outs:
+        n_anon = cls.n_accesses - cls.file_skips
+        n_windows = (n_anon + _WINDOW - 1) // _WINDOW
+        fault_counts = np.bincount(cls.fault_pos // _WINDOW, minlength=n_windows)
+        wb_pos = cls.evict_pos[~cls.clean]
+        wb_counts = np.bincount(wb_pos // _WINDOW, minlength=n_windows)
+        granularity = executor.config.granularity
+        add_repeat = res.fault_latency.add_repeat
+
+        def admit():
+            for k_fault, k_wb in zip(fault_counts.tolist(), wb_counts.tolist()):
+                if k_fault:
+                    t0 = sim.now
+                    yield sim.timeout(k_fault * FAULT_COST)
+                    yield from frontend.load_batch_gen(k_fault, granularity=granularity)
+                    add_repeat((sim.now - t0) / k_fault, k_fault)
+                if k_wb:
+                    yield from frontend.store_batch_gen(k_wb, granularity=granularity)
+
+        done = sim.process(admit(), name="exec:replay")
+        sim.run(until=done)
+    if cls.far_end.size:
+        frontend.adopt_far_pages(cls.far_end.tolist())
+    res.sim_time = sim.now - start
+    if sim.sanitize:
+        executor.assert_page_conservation()
+    return res

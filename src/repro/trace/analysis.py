@@ -21,6 +21,7 @@ __all__ = [
     "sequential_runs",
     "SequentialStats",
     "sequential_stats",
+    "stream_interleave",
     "access_histogram",
     "hot_data_ratio",
     "load_ratio",

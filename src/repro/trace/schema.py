@@ -7,6 +7,8 @@ per-element Python in hot paths).  A million-access trace is ~10 MB.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import TraceError
@@ -74,6 +76,17 @@ class PageTrace:
     def anon_only(self) -> "PageTrace":
         """The sub-trace of anonymous accesses (what the swap path sees)."""
         return PageTrace(np.ascontiguousarray(self._data[self.anon_mask]))
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the trace contents (cache key component).
+
+        Hashes the raw record bytes plus the schema version, so any layout
+        or synthesis change invalidates derived artifacts automatically.
+        """
+        h = hashlib.sha256()
+        h.update(b"pagetrace:%d:" % SCHEMA_VERSION)
+        h.update(np.ascontiguousarray(self._data).tobytes())
+        return h.hexdigest()[:32]
 
     def footprint(self) -> int:
         """Number of distinct pages touched."""

@@ -74,5 +74,5 @@ def test_registry_ids_match_modules():
         "fig01b", "fig02b", "fig03", "fig04", "fig05", "fig08", "fig10_11",
         "fig12", "table06", "fig14", "table07", "fig15", "fig16", "fig17",
         "fig18", "fig19", "ablation", "cxl_study", "des_validation",
-        "online_study", "tier_study",
+        "replay_validation", "online_study", "tier_study",
     }

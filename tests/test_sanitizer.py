@@ -8,6 +8,8 @@ Plus the determinism regression: two seeded runs produce identical event
 logs.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -249,9 +251,19 @@ def test_undrained_eviction_queue_detected():
 # -- determinism regression ------------------------------------------------
 
 def _event_log_for(seed):
+    # pin the per-access event executor: the batched replay engine admits
+    # whole windows, leaving too few DES events for a meaningful log diff
     log = []
-    ex = _executor(sanitize=False, event_log=log)
-    ex.run(_trace(seed=seed))
+    saved = os.environ.get("REPRO_REPLAY")
+    os.environ["REPRO_REPLAY"] = "event"
+    try:
+        ex = _executor(sanitize=False, event_log=log)
+        ex.run(_trace(seed=seed))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_REPLAY", None)
+        else:
+            os.environ["REPRO_REPLAY"] = saved
     return log, ex.result
 
 
@@ -275,7 +287,15 @@ def test_seeded_runs_identical_under_sanitizer_marker():
     """Sanitizer checks must not perturb the event stream."""
     log_a, _ = _event_log_for(seed=11)
     assert Simulator().sanitize  # marker took effect
-    sim = Simulator(event_log=(log_c := []))
-    ex = SwapExecutor(sim, NVMeSSD(sim), BackendKind.SSD, local_pages=40)
-    ex.run(_trace(seed=11))
+    saved = os.environ.get("REPRO_REPLAY")
+    os.environ["REPRO_REPLAY"] = "event"
+    try:
+        sim = Simulator(event_log=(log_c := []))
+        ex = SwapExecutor(sim, NVMeSSD(sim), BackendKind.SSD, local_pages=40)
+        ex.run(_trace(seed=11))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_REPLAY", None)
+        else:
+            os.environ["REPRO_REPLAY"] = saved
     assert log_c == log_a

@@ -1,0 +1,245 @@
+"""Equivalence suite for the batched fault-replay engine.
+
+The batch engine's contract is exactness, not approximation: for every
+eligible run, all seven execution counters must equal the per-access
+event loop bit for bit, the end state (LRU lists *and order*, touched
+set, far-memory ownership) must be identical, and simulated time must
+agree within 1 % (measured: float round-off).  Seeded distributions,
+file-backed mixes, a hypothesis property test, and the Mattson MRC
+cross-check lock this in.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import BackendKind, NVMeSSD, RDMANic
+from repro.errors import ConfigurationError
+from repro.mem.lru import LRUCache, lru_replay
+from repro.mem.page import PageKind, PageOp
+from repro.simcore import Simulator
+from repro.swap.executor import SwapExecutor
+from repro.swap.replay import REPLAY_ENV, classify_trace, trace_mrc
+from repro.trace.schema import make_trace
+
+COUNTERS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+            "swap_outs", "clean_drops", "file_skips")
+
+
+def _build_trace(seed, n, distinct, dist, store_ratio=0.3, file_ratio=0.0):
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        pages = rng.integers(0, distinct, size=n)
+    elif dist == "zipf":
+        pages = (rng.zipf(1.3, size=n) - 1) % distinct
+    else:  # sequential
+        pages = (np.arange(n) + rng.integers(0, distinct)) % distinct
+    ops = np.where(rng.random(n) < store_ratio, int(PageOp.STORE), int(PageOp.LOAD))
+    kinds = np.where(rng.random(n) < file_ratio, int(PageKind.FILE), int(PageKind.ANON))
+    return make_trace(pages, ops=ops, kinds=kinds)
+
+
+def _run_mode(trace, capacity, mode, device_cls=NVMeSSD, kind=BackendKind.SSD):
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = mode
+    try:
+        sim = Simulator()
+        executor = SwapExecutor(sim, device_cls(sim), kind, local_pages=capacity)
+        result = executor.run(trace)
+        return result, executor
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def _assert_equivalent(trace, capacity, **kwargs):
+    batch, bex = _run_mode(trace, capacity, "batch", **kwargs)
+    event, eex = _run_mode(trace, capacity, "event", **kwargs)
+    for counter in COUNTERS:
+        assert getattr(batch, counter) == getattr(event, counter), counter
+    assert batch.sim_time == pytest.approx(event.sim_time, rel=0.01)
+    assert batch.fault_latency.n == event.fault_latency.n
+    if event.fault_latency.n:
+        assert batch.fault_latency.mean == pytest.approx(event.fault_latency.mean)
+    # end state: list contents and order, touched set, far ownership
+    b_act, b_inact = bex.lru.state_arrays()
+    e_act, e_inact = eex.lru.state_arrays()
+    assert b_act.tolist() == e_act.tolist()
+    assert b_inact.tolist() == e_inact.tolist()
+    assert bex._touched == eex._touched
+    assert bex.frontend._owner == eex.frontend._owner
+    assert bex.frontend.stores == eex.frontend.stores
+    assert bex.frontend.loads == eex.frontend.loads
+    return batch, event
+
+
+@pytest.mark.parametrize("dist", ["uniform", "zipf", "sequential"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_matches_event_distributions(dist, seed):
+    trace = _build_trace(seed, 6000, 400, dist)
+    _assert_equivalent(trace, capacity=120)
+
+
+def test_batch_matches_event_with_file_backed_mix():
+    trace = _build_trace(3, 6000, 300, "zipf", store_ratio=0.4, file_ratio=0.3)
+    batch, event = _assert_equivalent(trace, capacity=80)
+    assert event.file_skips > 0  # the mix actually exercised the skip path
+
+
+def test_batch_matches_event_on_rdma():
+    trace = _build_trace(4, 4000, 250, "uniform")
+    _assert_equivalent(trace, capacity=60, device_cls=RDMANic, kind=BackendKind.RDMA)
+
+
+def test_batch_matches_event_store_only_and_load_only():
+    for store_ratio in (0.0, 1.0):
+        trace = _build_trace(5, 4000, 200, "uniform", store_ratio=store_ratio)
+        _assert_equivalent(trace, capacity=50)
+
+
+def test_batch_matches_event_tiny_cache():
+    # below _MIN_EPOCH the LRU replay itself takes its loop path
+    trace = _build_trace(6, 2000, 40, "zipf")
+    _assert_equivalent(trace, capacity=5)
+
+
+def test_all_hits_no_des_activity():
+    pages = np.tile(np.arange(10), 50)
+    trace = make_trace(pages)
+    batch, _ = _run_mode(trace, 64, "batch")
+    assert batch.faults == 0 and batch.swap_outs == 0
+    assert batch.cold_allocations == 10
+    assert batch.sim_time == 0.0
+
+
+@pytest.mark.sanitize
+def test_batch_replay_passes_page_conservation():
+    trace = _build_trace(7, 3000, 200, "uniform", store_ratio=0.5)
+    batch, executor = _run_mode(trace, 50, "batch")
+    assert batch.faults > 0
+    executor.assert_page_conservation()
+
+
+def test_unknown_replay_mode_rejected():
+    trace = _build_trace(8, 100, 20, "uniform")
+    with pytest.raises(ConfigurationError):
+        _run_mode(trace, 10, "turbo")
+
+
+def test_warm_executor_falls_back_to_event_loop():
+    """A second run on the same executor is ineligible for batching and
+    must still produce what two event runs produce."""
+    first = _build_trace(9, 2000, 150, "zipf")
+    second = _build_trace(10, 2000, 150, "uniform")
+    saved = os.environ.get(REPLAY_ENV)
+    try:
+        results = {}
+        for mode in ("batch", "event"):
+            os.environ[REPLAY_ENV] = mode
+            sim = Simulator()
+            executor = SwapExecutor(sim, NVMeSSD(sim), BackendKind.SSD, local_pages=40)
+            executor.run(first)
+            results[mode] = executor.run(second)
+        for counter in COUNTERS:
+            assert getattr(results["batch"], counter) == getattr(results["event"], counter)
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def test_replay_run_requires_consistent_classification():
+    """replay_run applied twice would double-adopt far pages."""
+    trace = _build_trace(11, 2000, 150, "uniform")
+    _, executor = _run_mode(trace, 40, "batch")
+    assert not executor._batch_eligible()  # warm now
+
+
+# -- classification cache ----------------------------------------------------
+
+def test_classification_cache_roundtrip(monkeypatch):
+    import repro.swap.replay as replay_mod
+    from repro import cache
+
+    monkeypatch.setattr(replay_mod, "_CACHE_MIN_ANON", 1)
+    trace = _build_trace(12, 3000, 200, "zipf", store_ratio=0.4)
+    cold = classify_trace(trace, 50)
+    h0, _ = cache.cache_stats()
+    warm = classify_trace(trace, 50)
+    h1, _ = cache.cache_stats()
+    assert h1 == h0 + 1
+    for name in ("fault_pos", "evict_pos", "evict_page", "clean", "far_end",
+                 "final_active", "final_inactive", "touched"):
+        assert np.array_equal(getattr(cold, name), getattr(warm, name)), name
+    for name in ("n_accesses", "file_skips", "hits", "cold_allocations",
+                 "lru_promotions", "lru_demotions"):
+        assert getattr(cold, name) == getattr(warm, name), name
+
+
+def test_content_digest_distinguishes_traces():
+    a = _build_trace(13, 500, 50, "uniform")
+    b = _build_trace(14, 500, 50, "uniform")
+    assert a.content_digest() != b.content_digest()
+    assert a.content_digest() == a.content_digest()
+
+
+# -- Mattson MRC cross-check -------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_mrc_matches_exact_lru_replay(seed):
+    """One-pass Mattson miss counts == exact LRUCache replay, per capacity."""
+    trace = _build_trace(seed, 3000, 120, "zipf" if seed % 2 else "uniform")
+    pages = trace.pages[trace.anon_mask]
+    mrc = trace_mrc(trace)
+    for capacity in (1, 2, 7, 30, 119, 400):
+        cache = LRUCache(capacity)
+        misses = sum(0 if cache.access(int(p)) else 1 for p in pages)
+        assert mrc.misses(capacity) == misses, capacity
+
+
+def test_mrc_sweep_matches_pointwise_queries():
+    trace = _build_trace(15, 2000, 100, "zipf")
+    mrc = trace_mrc(trace)
+    caps = np.arange(0, 150)
+    sweep = mrc.misses_at(caps)
+    assert sweep.tolist() == [mrc.misses(int(c)) for c in caps]
+    # and the vectorized replay agrees with the curve at each capacity
+    pages = trace.pages[trace.anon_mask]
+    for capacity in (3, 25, 90):
+        log = lru_replay(pages, capacity)
+        assert int((~log.hits).sum()) == mrc.misses(capacity)
+
+
+# -- property test -----------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400),
+    capacity=st.integers(min_value=2, max_value=14),
+    data=st.data(),
+)
+def test_property_batch_equals_event(pages, capacity, data):
+    n = len(pages)
+    ops = data.draw(st.lists(
+        st.sampled_from([int(PageOp.LOAD), int(PageOp.STORE)]),
+        min_size=n, max_size=n))
+    kinds = data.draw(st.lists(
+        st.sampled_from([int(PageKind.ANON), int(PageKind.ANON), int(PageKind.FILE)]),
+        min_size=n, max_size=n))
+    trace = make_trace(np.asarray(pages), ops=np.asarray(ops), kinds=np.asarray(kinds))
+    batch, bex = _run_mode(trace, capacity, "batch")
+    event, eex = _run_mode(trace, capacity, "event")
+    for counter in COUNTERS:
+        assert getattr(batch, counter) == getattr(event, counter), counter
+    assert batch.sim_time == pytest.approx(event.sim_time, rel=0.01)
+    b_act, b_inact = bex.lru.state_arrays()
+    e_act, e_inact = eex.lru.state_arrays()
+    assert b_act.tolist() == e_act.tolist()
+    assert b_inact.tolist() == e_inact.tolist()
+    assert bex.frontend._owner == eex.frontend._owner

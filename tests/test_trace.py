@@ -249,3 +249,25 @@ def test_runs_partition_accesses(pages):
     arr = np.asarray(pages, dtype=np.int64)
     runs = sequential_runs(arr)
     assert int(runs.sum()) == arr.size
+
+
+def test_analysis_all_lists_every_public_function():
+    """Every public name defined in trace.analysis must be exported.
+
+    Regression for ``stream_interleave`` silently missing from
+    ``__all__`` — console code that did ``from repro.trace.analysis
+    import *`` lost it without any error.
+    """
+    import inspect
+
+    from repro.trace import analysis
+
+    public = {
+        name
+        for name, obj in vars(analysis).items()
+        if not name.startswith("_")
+        and (inspect.isfunction(obj) or inspect.isclass(obj))
+        and getattr(obj, "__module__", None) == analysis.__name__
+    }
+    assert public == set(analysis.__all__)
+    assert "stream_interleave" in analysis.__all__
