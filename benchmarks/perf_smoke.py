@@ -1,6 +1,6 @@
 """Perf-smoke: reuse-kernel, batched-replay, and full-suite wall time.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 ``reuse`` (default)
     Reuse-distance kernel throughput plus cold/warm ``run all`` wall time.
@@ -17,6 +17,21 @@ Two suites, selected with ``--suite``:
     regressed more than 25 % against the checked-in baseline instead of
     overwriting it — the CI guard for the replay fast path.
 
+``replay-mt``
+    Contended multi-tenant replay: ``--tenants`` cold tenants (default 4)
+    share one NVMe device and replay 1 M total accesses, fluid fair-share
+    batch engine vs the concurrent per-access event loops.  Per-tenant
+    counters must match bit for bit; the report records the max per-tenant
+    ``sim_time`` relative error alongside the throughput numbers.  Writes
+    ``BENCH_replay_mt.json``; ``--check`` guards it like ``replay``.
+
+Every ``BENCH_*.json`` report shares one header convention: ``schema``
+(:data:`BENCH_SCHEMA`, bumped when a report layout changes), ``suite``,
+and ``generated`` (date).  ``--check`` refuses to compare against a
+baseline whose ``schema``/``suite`` don't match — a stale baseline fails
+loudly (exit 2) instead of silently gating CI on numbers from an old
+layout.
+
 The checked-in copies record the reference container's numbers so the
 bench trajectory is visible in review; CI regenerates them on every push
 as job artifacts.
@@ -26,6 +41,7 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_reuse.json
     PYTHONPATH=src python benchmarks/perf_smoke.py --suite replay
     PYTHONPATH=src python benchmarks/perf_smoke.py --suite replay --check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --suite replay-mt --check
 
 Wall-clock reads are fine here: ``benchmarks/`` is outside the simulated
 world and exempt from simlint's DET002.
@@ -47,6 +63,11 @@ from repro.mem.reuse import _reuse_distances_fenwick, _warm_distances_vector
 #: --check fails when batch accesses/s drops below (1 - this) x baseline.
 REGRESSION_TOLERANCE = 0.25
 
+#: Report-layout version shared by every BENCH_*.json file.  Bump whenever
+#: any suite's report shape changes; ``--check`` then rejects the old
+#: baselines until they are regenerated, instead of comparing silently.
+BENCH_SCHEMA = 2
+
 #: Counters both engines must agree on, bit for bit.
 _COUNTERS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
              "swap_outs", "clean_drops", "file_skips")
@@ -59,6 +80,44 @@ _REPLAY_CASES = {
     "zipf": {"distribution": "zipf", "alpha": 1.1, "distinct_pages": 100_000,
              "local_pages": 25_000, "store_ratio": 0.3, "seed": 42},
 }
+
+#: The replay-mt suite's workloads: per-tenant trace parameters; each of
+#: the N tenants gets its own seed so co-tenants don't walk in lockstep.
+#: Footprints are per tenant (tenants contend for the device, not pages).
+_REPLAY_MT_CASES = {
+    "uniform": {"distribution": "uniform", "distinct_pages": 50_000,
+                "local_pages": 25_000, "store_ratio": 0.3, "seed": 42},
+    "zipf": {"distribution": "zipf", "alpha": 1.1, "distinct_pages": 50_000,
+             "local_pages": 12_500, "store_ratio": 0.3, "seed": 42},
+}
+
+
+def _report_meta(suite: str) -> dict:
+    """The shared BENCH_*.json header: schema version, suite, date."""
+    return {"schema": BENCH_SCHEMA, "suite": suite,
+            "generated": time.strftime("%Y-%m-%d")}
+
+
+def load_baseline(path: str, suite: str) -> dict | None:
+    """Load a checked-in baseline, refusing stale or mismatched files."""
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"no baseline at {path}; run without --check first",
+              file=sys.stderr)
+        return None
+    got_schema, got_suite = baseline.get("schema"), baseline.get("suite")
+    if got_schema != BENCH_SCHEMA or got_suite != suite:
+        print(
+            f"stale baseline {path}: schema={got_schema!r} suite={got_suite!r} "
+            f"(expected schema={BENCH_SCHEMA} suite={suite!r}); regenerate "
+            f"with 'PYTHONPATH=src python benchmarks/perf_smoke.py "
+            f"--suite {suite}'",
+            file=sys.stderr,
+        )
+        return None
+    return baseline
 
 
 def bench_kernel(kernel, pages: np.ndarray, repeats: int) -> dict:
@@ -159,20 +218,86 @@ def bench_replay(accesses: int, repeats: int) -> dict:
             "swap_outs": event_res.swap_outs,
         }
     return {
-        "generated": time.strftime("%Y-%m-%d"),
+        **_report_meta("replay"),
         "headline": "uniform",
         "workloads": workloads,
     }
 
 
-def check_replay_regression(report: dict, baseline_path: str) -> int:
+def _run_mt_stack(traces, local_pages: int, mode: str):
+    from repro.devices import BackendKind, NVMeSSD
+    from repro.simcore import Simulator
+    from repro.swap.executor import make_contended_executors, run_tenants
+
+    os.environ["REPRO_REPLAY"] = mode
+    sim = Simulator()
+    device = NVMeSSD(sim)
+    executors = make_contended_executors(sim, device, BackendKind.SSD,
+                                         len(traces), local_pages=local_pages)
+    t0 = time.perf_counter()
+    results = run_tenants(executors, traces)
+    return time.perf_counter() - t0, results
+
+
+def bench_replay_mt(total_accesses: int, tenants: int, repeats: int) -> dict:
+    """Contended fluid replay vs concurrent event loops, N tenants on one
+    shared device, with per-tenant counter verification."""
+    os.environ["REPRO_CACHE"] = "0"
+    per_tenant = total_accesses // tenants
+    workloads = {}
+    for name, case in _REPLAY_MT_CASES.items():
+        traces = [_replay_trace({**case, "seed": case["seed"] + i}, per_tenant)
+                  for i in range(tenants)]
+        batch_best = None
+        batch_res = None
+        for _ in range(repeats):
+            seconds, results = _run_mt_stack(traces, case["local_pages"], "batch")
+            if batch_best is None or seconds < batch_best:
+                batch_best = seconds
+            batch_res = results
+        # best-of-1 for the slow event reference; it has no warm-up effects
+        event_seconds, event_res = _run_mt_stack(traces, case["local_pages"],
+                                                 "event")
+        max_rel = 0.0
+        for i in range(tenants):
+            mismatched = [c for c in _COUNTERS
+                          if getattr(batch_res[i], c) != getattr(event_res[i], c)]
+            if mismatched:
+                raise AssertionError(
+                    f"{name}: tenant {i} batch/event counter mismatch on "
+                    f"{', '.join(mismatched)}"
+                )
+            if event_res[i].sim_time > 0:
+                max_rel = max(max_rel, abs(batch_res[i].sim_time
+                                           - event_res[i].sim_time)
+                              / event_res[i].sim_time)
+        total = per_tenant * tenants
+        workloads[name] = {
+            **case,
+            "tenants": tenants,
+            "accesses_per_tenant": per_tenant,
+            "accesses_total": total,
+            "batch": {"seconds": round(batch_best, 4),
+                      "accesses_per_s": int(total / batch_best)},
+            "event": {"seconds": round(event_seconds, 4),
+                      "accesses_per_s": int(total / event_seconds)},
+            "speedup": round(event_seconds / batch_best, 1),
+            "counters_identical": True,
+            "max_sim_time_rel_err": float(f"{max_rel:.3e}"),
+            "faults": sum(r.faults for r in event_res),
+            "swap_outs": sum(r.swap_outs for r in event_res),
+        }
+    return {
+        **_report_meta("replay-mt"),
+        "headline": "uniform",
+        "workloads": workloads,
+    }
+
+
+def check_replay_regression(report: dict, baseline_path: str, suite: str) -> int:
     """Compare a fresh replay report against the checked-in baseline."""
-    try:
-        with open(baseline_path) as fh:
-            baseline = json.load(fh)
-    except FileNotFoundError:
-        print(f"no baseline at {baseline_path}; run without --check first",
-              file=sys.stderr)
+    baseline = load_baseline(baseline_path, suite)
+    if baseline is None:
         return 2
     failures = []
     for name, fresh in report["workloads"].items():
@@ -195,11 +320,15 @@ def check_replay_regression(report: dict, baseline_path: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("reuse", "replay"), default="reuse")
+    parser.add_argument("--suite", choices=("reuse", "replay", "replay-mt"),
+                        default="reuse")
     parser.add_argument("--out", default=None,
                         help="report path (default BENCH_<suite>.json)")
     parser.add_argument("--accesses", type=int, default=1_000_000,
-                        help="trace length for the kernel/replay benchmarks")
+                        help="trace length for the kernel/replay benchmarks "
+                             "(replay-mt: total across all tenants)")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="co-tenants on the shared device (replay-mt)")
     parser.add_argument("--distinct", type=int, default=65_536,
                         help="distinct pages in the reuse-suite random trace")
     parser.add_argument("--repeats", type=int, default=3,
@@ -212,19 +341,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay suite: compare against the checked-in "
                              "baseline instead of overwriting it")
     args = parser.parse_args(argv)
-    out = args.out or f"BENCH_{args.suite}.json"
+    out = args.out or f"BENCH_{args.suite.replace('-', '_')}.json"
 
     if args.suite == "replay":
         report = bench_replay(args.accesses, args.repeats)
         if args.check:
-            return check_replay_regression(report, out)
+            return check_replay_regression(report, out, args.suite)
+    elif args.suite == "replay-mt":
+        report = bench_replay_mt(args.accesses, args.tenants, args.repeats)
+        if args.check:
+            return check_replay_regression(report, out, args.suite)
     else:
         pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
         vector = bench_kernel(_warm_distances_vector, pages, args.repeats)
         # best-of-1 for the slow reference loop; it has no warm-up effects
         fenwick = bench_kernel(_reuse_distances_fenwick, pages, 1)
         report = {
-            "generated": time.strftime("%Y-%m-%d"),
+            **_report_meta("reuse"),
             "trace": {"distribution": "uniform", "distinct_pages": args.distinct, "seed": 1},
             "kernels": {"vector": vector, "fenwick": fenwick},
             "vector_speedup": round(fenwick["seconds"] / vector["seconds"], 1),

@@ -6,14 +6,18 @@ Subcommands::
     xdm-repro run table06 [--scale S] [--seed N] [--csv]
     xdm-repro run all [--jobs N]        # every experiment, text tables
     xdm-repro workloads                 # Table V with fused characteristics
-    xdm-repro replay bert [--engine both] [--backend ssd] [--fm-ratio R]
+    xdm-repro replay bert [--engine both] [--backend ssd] [--tenants N]
     xdm-repro cache info|clear          # persistent artifact cache
     xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
 
 ``replay`` executes one workload trace through the swap stack with the
 batched fault-replay engine, the per-access event loop, or both (printing
-the counter diff — empty when the engines agree, which they must).  The
-same selection is available to every experiment via ``REPRO_REPLAY``.
+the counter diff — empty when the engines agree, which they must).
+``--tenants N`` replays N seed-varied copies contending for one shared
+device and reports per-tenant diffs plus the max sim_time relative error
+(counters must match exactly; times agree to the windowed-admission
+model).  The same selection is available to every experiment via
+``REPRO_REPLAY``.
 
 Result tables go to stdout; per-experiment wall time and cache-hit counts
 go to stderr, so stdout is byte-identical across serial/parallel runs and
@@ -67,43 +71,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.devices.registry import BackendKind, make_device
     from repro.simcore import Simulator
-    from repro.swap.executor import SwapExecutor
+    from repro.swap.executor import make_contended_executors, run_tenants
     from repro.swap.replay import REPLAY_ENV
 
     if args.workload not in TABLE_V:
         print(f"unknown workload {args.workload!r}; see 'xdm-repro workloads'",
               file=sys.stderr)
         return 2
+    if args.tenants < 1:
+        print(f"--tenants must be >= 1, got {args.tenants}", file=sys.stderr)
+        return 2
     kind = BackendKind(args.backend)
     w = TABLE_V[args.workload]
-    trace = w.trace(args.scale, args.seed)
-    if args.max_accesses and len(trace) > args.max_accesses:
-        trace = trace.slice(0, args.max_accesses)
+    n = args.tenants
+    traces = []
+    for i in range(n):
+        # distinct per-tenant seeds so co-tenants don't walk in lockstep
+        seed = args.seed if n == 1 else (args.seed or 0) + i
+        trace = w.trace(args.scale, seed)
+        if args.max_accesses and len(trace) > args.max_accesses:
+            trace = trace.slice(0, args.max_accesses)
+        traces.append(trace)
     local = max(2, int(w.features(args.scale).mrc.n_pages * (1.0 - args.fm_ratio)))
     engines = ("batch", "event") if args.engine == "both" else (args.engine,)
     counters = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
                 "swap_outs", "clean_drops", "file_skips")
     results = {}
+    saved = os.environ.get(REPLAY_ENV)
+    try:
+        for engine in engines:
+            os.environ[REPLAY_ENV] = engine
+            sim = Simulator()
+            device = make_device(sim, kind)
+            executors = make_contended_executors(
+                sim, device, kind, n, local_pages=local
+            )
+            results[engine] = run_tenants(executors, traces)
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+    print(f"workload={args.workload} backend={kind} tenants={n} "
+          f"local_pages={local} accesses/tenant={len(traces[0])}")
     for engine in engines:
-        os.environ[REPLAY_ENV] = engine
-        sim = Simulator()
-        executor = SwapExecutor(sim, make_device(sim, kind), kind, local_pages=local)
-        results[engine] = executor.run(trace)
-    print(f"workload={args.workload} backend={kind} local_pages={local} "
-          f"accesses={len(trace)}")
-    for engine in engines:
-        res = results[engine]
-        stats = " ".join(f"{c}={getattr(res, c)}" for c in counters[1:])
-        print(f"  {engine:5s}: {stats}")
-        print(f"         sim_time={res.sim_time:.6f}s "
-              f"mean_fault_latency={res.fault_latency.mean * 1e6:.2f}us")
+        for i, res in enumerate(results[engine]):
+            tag = f"{engine:5s}" if n == 1 else f"{engine}[{i}]"
+            stats = " ".join(f"{c}={getattr(res, c)}" for c in counters[1:])
+            print(f"  {tag}: {stats}")
+            print(f"  {' ' * len(tag)}  sim_time={res.sim_time:.6f}s "
+                  f"mean_fault_latency={res.fault_latency.mean * 1e6:.2f}us")
     if len(engines) == 2:
-        diff = [c for c in counters
-                if getattr(results["batch"], c) != getattr(results["event"], c)]
-        if diff:
-            print(f"  COUNTER MISMATCH: {', '.join(diff)}")
+        mismatched = False
+        max_rel = 0.0
+        for i in range(n):
+            b, e = results["batch"][i], results["event"][i]
+            diff = [c for c in counters if getattr(b, c) != getattr(e, c)]
+            if diff:
+                tenant = f" tenant {i}" if n > 1 else ""
+                print(f"  COUNTER MISMATCH{tenant}: {', '.join(diff)}")
+                mismatched = True
+            if e.sim_time > 0:
+                max_rel = max(max_rel, abs(b.sim_time - e.sim_time) / e.sim_time)
+        if mismatched:
             return 1
-        print("  engines agree on every counter")
+        print(f"  engines agree on every counter across {n} tenant(s)")
+        print(f"  max sim_time relative error: {max_rel:.3e}")
     return 0
 
 
@@ -167,6 +200,9 @@ def main(argv: list[str] | None = None) -> int:
                                "or both with a counter diff (default batch)")
     p_replay.add_argument("--backend", default="ssd",
                           help="far-memory backend kind (default ssd)")
+    p_replay.add_argument("--tenants", type=int, default=1,
+                          help="co-tenants contending for one shared device "
+                               "(default 1); each gets its own seed")
     p_replay.add_argument("--fm-ratio", type=float, default=0.5,
                           help="far-memory share of the footprint (default 0.5)")
     p_replay.add_argument("--scale", type=float, default=DEFAULT_SCALE)

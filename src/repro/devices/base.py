@@ -188,6 +188,34 @@ class FarMemoryDevice:
             + granularity / self._media_bw(write)
         )
 
+    def batch_command_cost(self, count: int, write: bool, granularity: int) -> float:
+        """Serial command-phase seconds of ``count`` batched one-granule ops.
+
+        Each batched op pays the full single-op serial cost, setup included
+        (one-granule requests pay setup per request).  This is the exact
+        command charge of :meth:`read_batch_gen`/:meth:`write_batch_gen`,
+        factored out so the fluid fair-share replay solver
+        (:mod:`repro.swap.replay`) prices flows with the same float
+        expression the DES path evaluates.
+        """
+        return count * (self.profile.setup_cost + self._op_cost(write, granularity))
+
+    def stage_pipes(self, write: bool) -> list[FairShareLink]:
+        """The fair-share pipes one payload crosses concurrently.
+
+        Order matters and mirrors the DES I/O paths: media first, then the
+        PCIe slot, then the shared switch.  A transfer occupies every stage
+        simultaneously (DMA pipelining) and completes when the slowest one
+        drains — ``_io``/``_io_batch`` wait on exactly these pipes, and the
+        fluid replay solver replays the same set analytically.
+        """
+        pipes = [self._media_write if write else self._media_read]
+        if self.link is not None:
+            pipes.append(self.link._pipe)
+        if self.switch is not None:
+            pipes.append(self.switch._pipe)
+        return pipes
+
     # ------------------------------------------------------------------
     # Discrete-event interface
     # ------------------------------------------------------------------
@@ -241,18 +269,11 @@ class FarMemoryDevice:
             grant = yield self.channel_pool.request()
         try:
             moved = count * granularity
-            # each batched op pays the full single-op serial cost, setup
-            # included — one-granule requests pay setup per request
-            command = count * (
-                self.profile.setup_cost + self._op_cost(write, granularity)
-            )
-            yield self.sim.timeout(command)
-            media = self._media_write if write else self._media_read
-            stages = [media.transfer(moved, weight=weight)]
-            if self.link is not None:
-                stages.append(self.link.transfer(moved, weight=weight))
-            if self.switch is not None:
-                stages.append(self.switch.transfer(moved, weight=weight))
+            yield self.sim.timeout(self.batch_command_cost(count, write, granularity))
+            stages = [
+                pipe.transfer(moved, weight=weight)
+                for pipe in self.stage_pipes(write)
+            ]
             if len(stages) == 1:
                 yield stages[0]
             else:
@@ -281,12 +302,10 @@ class FarMemoryDevice:
             yield self.sim.timeout(command)
             # ... while the payload streams through media and PCIe stages
             # concurrently (DMA pipelining): wait for the slowest stage
-            media = self._media_write if write else self._media_read
-            stages = [media.transfer(moved, weight=weight)]
-            if self.link is not None:
-                stages.append(self.link.transfer(moved, weight=weight))
-            if self.switch is not None:
-                stages.append(self.switch.transfer(moved, weight=weight))
+            stages = [
+                pipe.transfer(moved, weight=weight)
+                for pipe in self.stage_pipes(write)
+            ]
             if len(stages) == 1:
                 yield stages[0]
             else:

@@ -31,6 +31,7 @@ from repro.experiments import (
     replay_validation,
     table06,
     table07,
+    tenant_scaling,
     tier_study,
 )
 from repro.experiments.context import ExperimentContext
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "cxl_study": cxl_study.run,
     "des_validation": des_validation.run,
     "replay_validation": replay_validation.run,
+    "tenant_scaling": tenant_scaling.run,
     "online_study": online_study.run,
     "tier_study": tier_study.run,
 }

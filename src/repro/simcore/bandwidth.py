@@ -57,7 +57,15 @@ class FairShareLink:
         return len(self._flows)
 
     def utilization(self, horizon: float | None = None) -> float:
-        """Fraction of wall time the link carried at least one flow."""
+        """Fraction of wall time the link carried at least one flow.
+
+        With flows still in flight, the open interval since the last state
+        change counts as busy (``_last_update`` is refreshed on every
+        arrival, departure, and capacity change, and the flow set was
+        non-empty throughout it).  A ``horizon`` earlier than the time
+        busy-time has already been accrued to would overstate utilization;
+        the result is clamped to 1.0 either way.
+        """
         elapsed = horizon if horizon is not None else self.sim.now
         if elapsed <= 0:
             return 0.0
@@ -65,6 +73,27 @@ class FairShareLink:
         if self._flows:
             busy += self.sim.now - self._last_update
         return min(1.0, busy / elapsed)
+
+    def account_external(self, nbytes: float, busy: float) -> None:
+        """Credit traffic resolved outside the event loop.
+
+        The fluid fair-share replay solver (:mod:`repro.swap.replay`)
+        computes this link's exact piecewise-linear schedule analytically;
+        it reports the delivered bytes and busy seconds here so
+        ``total_bytes``/``busy_time``/:meth:`utilization` agree with what
+        an event-level run would have recorded.
+        """
+        if nbytes < 0 or busy < 0:
+            raise ValueError(
+                f"external credit must be non-negative, got {nbytes} bytes / {busy} s"
+            )
+        if self.sim.sanitize and not (math.isfinite(nbytes) and math.isfinite(busy)):
+            raise SanitizerError(
+                f"link {self.name!r}: non-finite external credit "
+                f"({nbytes!r} bytes, {busy!r} s)"
+            )
+        self.total_bytes += nbytes
+        self.busy_time += busy
 
     # -- internal fluid mechanics ----------------------------------------
     def _sanitize_state(self) -> None:

@@ -24,7 +24,13 @@ from repro.swap.slots import SwapSlotAllocator
 from repro.swap.backend import SwapBackendModule, build_backend_module
 from repro.swap.channel import ChannelMode, SwapChannel
 from repro.swap.frontend import SwapFrontend
-from repro.swap.executor import SwapExecutionResult, SwapExecutor
+from repro.swap.executor import (
+    SwapExecutionResult,
+    SwapExecutor,
+    make_contended_executors,
+    run_tenants,
+)
+from repro.swap.replay import replay_run, replay_run_multi
 from repro.swap.pathmodel import (
     PathType,
     SwapConfig,
@@ -42,6 +48,10 @@ __all__ = [
     "SwapFrontend",
     "SwapExecutor",
     "SwapExecutionResult",
+    "run_tenants",
+    "make_contended_executors",
+    "replay_run",
+    "replay_run_multi",
     "PathType",
     "SwapConfig",
     "SwapCost",

@@ -39,10 +39,11 @@ from repro.simcore import OnlineStats, Simulator
 from repro.swap.backend import build_backend_module
 from repro.swap.frontend import SwapFrontend
 from repro.swap.pathmodel import FAULT_COST, SwapConfig
-from repro.swap.replay import REPLAY_ENV, replay_run
+from repro.swap.replay import REPLAY_ENV, replay_run, replay_run_multi
 from repro.trace.schema import PageTrace
 
-__all__ = ["SwapExecutionResult", "SwapExecutor"]
+__all__ = ["SwapExecutionResult", "SwapExecutor", "run_tenants",
+           "make_contended_executors"]
 
 #: Sanitizer mode checks page conservation every this-many accesses.
 _SANITIZE_STRIDE = 256
@@ -245,3 +246,67 @@ class SwapExecutor:
     def far_pages(self) -> int:
         """Pages currently on the backend."""
         return self.frontend.resident_far_pages
+
+
+def make_contended_executors(
+    sim: Simulator,
+    device: FarMemoryDevice,
+    kind: BackendKind,
+    n_tenants: int,
+    local_pages: int,
+    config: SwapConfig | None = None,
+) -> list[SwapExecutor]:
+    """``n_tenants`` cold executors contending for one shared device.
+
+    Every tenant gets its own frontend, backend module, and LRU, but all
+    modules wrap the same device — channel pool, media pipes, and any
+    PCIe slot/switch are shared, which is exactly the contention the
+    multi-tenant studies measure.  Module start-ups run sequentially
+    during construction; the simulator is idle (and the stack cold) when
+    this returns, so the executors are eligible for batched replay.
+    """
+    if n_tenants < 1:
+        raise ConfigurationError(f"n_tenants must be >= 1, got {n_tenants}")
+    return [
+        SwapExecutor(sim, device, kind, local_pages=local_pages, config=config)
+        for _ in range(n_tenants)
+    ]
+
+
+def run_tenants(executors, traces) -> list[SwapExecutionResult]:
+    """Execute one trace per tenant concurrently on a shared simulator.
+
+    The multi-tenant counterpart of :meth:`SwapExecutor.run`:
+    ``REPRO_REPLAY=batch`` (the default) routes cold stacks through the
+    contended batched replay engine
+    (:func:`repro.swap.replay.replay_run_multi` — vectorized
+    classification per tenant, then a fluid fair-share phase-2 solve);
+    ``REPRO_REPLAY=event`` (or any warm/ineligible tenant) runs every
+    per-access reference loop concurrently through the event engine.
+    Returns the per-tenant results in input order; each tenant's
+    ``sim_time`` covers its own start-to-finish interval.
+    """
+    executors = list(executors)
+    traces = list(traces)
+    if not executors or len(executors) != len(traces):
+        raise ConfigurationError(
+            f"need one trace per executor, got {len(executors)} executor(s) "
+            f"and {len(traces)} trace(s)"
+        )
+    sim = executors[0].sim
+    for ex in executors:
+        if ex.sim is not sim:
+            raise ConfigurationError("tenant executors must share one simulator")
+    mode = os.environ.get(REPLAY_ENV, "batch")
+    if mode not in ("batch", "event"):
+        raise ConfigurationError(
+            f"unknown {REPLAY_ENV}={mode!r}; expected 'batch' or 'event'"
+        )
+    if mode == "batch" and all(ex._batch_eligible() for ex in executors):
+        return replay_run_multi(executors, traces)
+    procs = [
+        sim.process(ex._run_proc(trace), name=f"exec:run:{i}")
+        for i, (ex, trace) in enumerate(zip(executors, traces))
+    ]
+    sim.run(until=sim.all_of(procs))
+    return [ex.result for ex in executors]

@@ -28,26 +28,41 @@ O(accesses).  Counters come out bit-identical to the event loop and
 ``sim_time`` agrees to float round-off; the equivalence suite
 (``tests/test_swap_replay.py``) locks both in.
 
+**Contended N-tenant runs** (:func:`replay_run_multi`) reuse phase 1
+unchanged — classification is timing-independent, so contention reorders
+I/O completions but never which accesses hit, fault, or evict — and
+replace phase 2's uncontended admission with an exact
+**progressive-filling fluid solve** (:func:`_fluid_phase2`): all tenants'
+per-window demand merges into one breakpoint timeline over the shared
+links and channel pool, where fair-share rates only change at flow
+arrival/completion breakpoints, so the piecewise-linear schedule equals
+the windowed DES admission reference (``solver="des"``) to round-off.
+
 Selection is by the ``REPRO_REPLAY`` environment variable, read by
-:meth:`SwapExecutor.run`: ``batch`` (default) delegates here whenever the
-run is eligible (cold single-tenant stack), ``event`` forces the exact
-per-access loop.
+:meth:`SwapExecutor.run` and :func:`~repro.swap.executor.run_tenants`:
+``batch`` (default) delegates here whenever the run is eligible (cold
+stack, supported device model), ``event`` forces the exact per-access
+loop.
 """
 
 from __future__ import annotations
 
+import heapq  # simlint: ignore[SIM001] -- fluid solver's breakpoint timeline mirrors the engine heap
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError, SanitizerError
 from repro.mem.lru import ActiveInactiveLRU
 from repro.mem.page import PageOp
 from repro.mem.reuse import MissRatioCurve, _prev_occurrence
+from repro.simcore.bandwidth import _EPS_BYTES
 from repro.swap.pathmodel import FAULT_COST
 from repro.trace.schema import PageTrace
 
 __all__ = ["ReplayClassification", "classify_trace", "trace_mrc", "replay_run",
-           "REPLAY_VERSION", "REPLAY_ENV"]
+           "replay_run_multi", "REPLAY_VERSION", "REPLAY_ENV"]
 
 #: Bumped whenever classification output could change; part of the
 #: on-disk classification cache key.
@@ -279,6 +294,42 @@ def trace_mrc(trace: PageTrace) -> MissRatioCurve:
     return MissRatioCurve(pages=trace.pages[trace.anon_mask])
 
 
+def _apply_classification(executor, cls: ReplayClassification) -> None:
+    """Book a classification's counters and end state onto ``executor``.
+
+    Everything timing-independent: execution counters, LRU contents and
+    statistics, the touched set.  Shared by the single-tenant and
+    multi-tenant phase-2 paths.
+    """
+    res = executor.result
+    res.accesses += cls.n_accesses
+    res.file_skips += cls.file_skips
+    res.hits += cls.hits
+    res.cold_allocations += cls.cold_allocations
+    res.faults += cls.faults
+    res.swap_ins += cls.faults
+    res.swap_outs += cls.swap_outs
+    res.clean_drops += cls.clean_drops
+    lru = executor.lru
+    lru.restore_state(cls.final_active, cls.final_inactive)
+    lru.hits += cls.hits
+    lru.misses += cls.cold_allocations + cls.faults
+    lru.promotions += cls.lru_promotions
+    lru.demotions += cls.lru_demotions
+    lru.evictions += cls.evictions
+    executor._touched.update(cls.touched.tolist())
+
+
+def _window_counts(cls: ReplayClassification) -> tuple[list[int], list[int]]:
+    """Per-``_WINDOW`` fault and writeback counts, as plain ints."""
+    n_anon = cls.n_accesses - cls.file_skips
+    n_windows = (n_anon + _WINDOW - 1) // _WINDOW
+    fault_counts = np.bincount(cls.fault_pos // _WINDOW, minlength=n_windows)
+    wb_pos = cls.evict_pos[~cls.clean]
+    wb_counts = np.bincount(wb_pos // _WINDOW, minlength=n_windows)
+    return fault_counts.tolist(), wb_counts.tolist()
+
+
 def replay_run(executor, trace: PageTrace,
                classification: ReplayClassification | None = None):
     """Phase 2: apply a classification to ``executor`` through the DES.
@@ -297,34 +348,15 @@ def replay_run(executor, trace: PageTrace,
     sim = executor.sim
     res = executor.result
     frontend = executor.frontend
-    res.accesses += cls.n_accesses
-    res.file_skips += cls.file_skips
-    res.hits += cls.hits
-    res.cold_allocations += cls.cold_allocations
-    res.faults += cls.faults
-    res.swap_ins += cls.faults
-    res.swap_outs += cls.swap_outs
-    res.clean_drops += cls.clean_drops
-    lru = executor.lru
-    lru.restore_state(cls.final_active, cls.final_inactive)
-    lru.hits += cls.hits
-    lru.misses += cls.cold_allocations + cls.faults
-    lru.promotions += cls.lru_promotions
-    lru.demotions += cls.lru_demotions
-    lru.evictions += cls.evictions
-    executor._touched.update(cls.touched.tolist())
+    _apply_classification(executor, cls)
     start = sim.now
     if cls.faults or cls.swap_outs:
-        n_anon = cls.n_accesses - cls.file_skips
-        n_windows = (n_anon + _WINDOW - 1) // _WINDOW
-        fault_counts = np.bincount(cls.fault_pos // _WINDOW, minlength=n_windows)
-        wb_pos = cls.evict_pos[~cls.clean]
-        wb_counts = np.bincount(wb_pos // _WINDOW, minlength=n_windows)
+        fault_counts, wb_counts = _window_counts(cls)
         granularity = executor.config.granularity
         add_repeat = res.fault_latency.add_repeat
 
         def admit():
-            for k_fault, k_wb in zip(fault_counts.tolist(), wb_counts.tolist()):
+            for k_fault, k_wb in zip(fault_counts, wb_counts):
                 if k_fault:
                     t0 = sim.now
                     yield sim.timeout(k_fault * FAULT_COST)
@@ -341,3 +373,465 @@ def replay_run(executor, trace: PageTrace,
     if sim.sanitize:
         executor.assert_page_conservation()
     return res
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant contended replay
+# ---------------------------------------------------------------------------
+#
+# Phase 1 is per-tenant and timing-independent, so N contended tenants
+# classify exactly as N solo tenants do.  Phase 2 is where contention
+# lives: tenants' aggregate flows share device channel pools, media pipes,
+# PCIe slots and switches.  Two interchangeable solvers admit the same
+# per-window step schedule:
+#
+# * ``solver="des"`` — one admission coroutine per tenant through the real
+#   event engine (O(windows) events per tenant); the timing reference.
+# * ``solver="fluid"`` — a flow-level progressive-filling solver: fair-share
+#   rates only change at flow arrival/completion breakpoints, so the
+#   piecewise-linear schedule is solved analytically on a merged breakpoint
+#   timeline, replicating `FairShareLink`'s float arithmetic expression by
+#   expression.  Same breakpoints, same floats, no generator machinery —
+#   this is what makes 64-tenant sweeps cheap.
+#
+# Both produce identical counters (those are phase-1 facts) and agree on
+# per-tenant ``sim_time`` to float round-off; the equivalence suite
+# (``tests/test_swap_replay_mt.py``) locks the triangle batch/des/event.
+
+#: Fluid-solver event kinds, ordered only for readability (ties on the
+#: timeline break by sequence number, exactly like the engine heap).
+_EV_WAKE = 0    #: a link's earliest-finish breakpoint (a=link, b=version)
+_EV_CHAN = 1    #: a tenant's pre-delay elapsed; request a channel (a=tenant)
+_EV_XFER = 2    #: a tenant's command phase elapsed; start stage flows
+_EV_DONE = 3    #: one stage flow of a tenant completed
+_EV_FINISH = 4  #: all stage flows completed (the ``all_of`` gate hop)
+_EV_GRANT = 5   #: a queued channel request granted
+
+
+@dataclass
+class _AdmissionStep:
+    """One aggregate admission of a window's faults or writebacks."""
+
+    pre: float      #: serial kernel-side delay before the channel request
+    command: float  #: serial command phase occupying the channel
+    moved: int      #: payload bytes crossing every stage pipe
+    count: int      #: page operations admitted by this step
+    write: bool     #: writeback (write) vs fault fill (read)
+
+
+class _FluidFlow:
+    __slots__ = ("remaining", "tenant")
+
+    def __init__(self, nbytes: float, tenant: int) -> None:
+        self.remaining = nbytes
+        self.tenant = tenant
+
+
+class _LinkState:
+    """Fluid-side mirror of one :class:`FairShareLink`'s flow set."""
+
+    __slots__ = ("pipe", "bw", "flows", "last_update", "version", "busy",
+                 "delivered", "demand", "n_flows", "index")
+
+    def __init__(self, pipe, index: int, t_start: float) -> None:
+        self.pipe = pipe
+        self.bw = pipe.bandwidth
+        self.flows: list[_FluidFlow] = []
+        self.last_update = t_start
+        self.version = 0
+        self.busy = 0.0
+        self.delivered = 0.0
+        self.demand = 0.0
+        self.n_flows = 0
+        self.index = index
+
+
+class _PoolState:
+    """Fluid-side mirror of one device's FCFS channel pool."""
+
+    __slots__ = ("pool", "cap", "in_use", "queue", "grants", "wait")
+
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.cap = pool.capacity
+        self.in_use = 0
+        self.queue: list[tuple[int, float]] = []
+        self.grants = 0
+        self.wait = 0.0
+
+
+class _TenantPlan:
+    """One tenant's phase-2 schedule plus its share of the shared topology."""
+
+    __slots__ = ("executor", "frontend", "module", "device", "granularity",
+                 "steps", "stages_read", "stages_write", "next", "pending",
+                 "t0", "end", "latencies", "pool")
+
+    def __init__(self, executor, cls: ReplayClassification) -> None:
+        self.executor = executor
+        self.frontend = executor.frontend
+        name = self.frontend.active_backend
+        self.module = self.frontend.module(name)
+        self.device = self.module.device
+        self.granularity = executor.config.granularity
+        g = self.granularity
+        self.steps: list[_AdmissionStep] = []
+        if cls.faults or cls.swap_outs:
+            for k_fault, k_wb in zip(*_window_counts(cls)):
+                if k_fault:
+                    self.steps.append(_AdmissionStep(
+                        pre=k_fault * FAULT_COST,
+                        command=self.device.batch_command_cost(k_fault, False, g),
+                        moved=k_fault * g, count=k_fault, write=False))
+                if k_wb:
+                    self.steps.append(_AdmissionStep(
+                        pre=0.0,
+                        command=self.device.batch_command_cost(k_wb, True, g),
+                        moved=k_wb * g, count=k_wb, write=True))
+        self.next = 0
+        self.pending = 0
+        self.t0 = 0.0
+        self.end = 0.0
+        self.latencies: list[tuple[float, int]] = []
+        self.stages_read: list[_LinkState] = []
+        self.stages_write: list[_LinkState] = []
+        self.pool: _PoolState | None = None
+
+
+def _fluid_supported(device) -> bool:
+    """Whether the fluid solver's device model matches this device.
+
+    The solver prices command phases and stage pipes with the base-class
+    formulas; a subclass that overrides the batched DES path itself needs
+    the DES solver to stay exact."""
+    t = type(device)
+    return (t._io_batch is FarMemoryDevice._io_batch
+            and t.batch_command_cost is FarMemoryDevice.batch_command_cost
+            and t.stage_pipes is FarMemoryDevice.stage_pipes)
+
+
+def _fluid_phase2(sim, plans: list[_TenantPlan]) -> list[float]:
+    """Solve the contended phase-2 schedule analytically.
+
+    A compact flow-level simulator over the merged breakpoint timeline:
+    per-tenant serial state machines (pre-delay -> channel FCFS -> command
+    -> concurrent stage flows) exchange events through mirrored link and
+    pool states.  Every float expression matches the event-engine code it
+    replaces (`FairShareLink._advance`/`_earliest_finish`, `Resource`
+    grant/release, `Timeout` scheduling), so per-tenant completion times
+    come out equal to the DES admission reference up to round-off — with
+    all flow weights 1.0 the shared expressions are exact term for term.
+    Returns per-tenant phase-2 durations and advances the (idle) engine
+    clock to the schedule's end.
+    """
+    t_start = sim.now
+    links: dict[int, _LinkState] = {}
+    pools: dict[int, _PoolState] = {}
+    link_list: list[_LinkState] = []
+    for plan in plans:
+        key = id(plan.device.channel_pool)
+        if key not in pools:
+            pools[key] = _PoolState(plan.device.channel_pool)
+        plan.pool = pools[key]
+        for write, out in ((False, plan.stages_read), (True, plan.stages_write)):
+            for pipe in plan.device.stage_pipes(write):
+                ls = links.get(id(pipe))
+                if ls is None:
+                    ls = _LinkState(pipe, len(link_list), t_start)
+                    links[id(pipe)] = ls
+                    link_list.append(ls)
+                out.append(ls)
+
+    heap: list[tuple[float, int, int, int, int]] = []
+    seq = 0
+    push_heap = heapq.heappush
+
+    def push(t: float, kind: int, a: int, b: int = 0) -> None:
+        nonlocal seq
+        seq += 1
+        push_heap(heap, (t, seq, kind, a, b))
+
+    # -- fluid link mechanics (mirrors FairShareLink, weights all 1.0) ----
+    def link_advance(ls: _LinkState, now: float) -> None:
+        dt = now - ls.last_update
+        ls.last_update = now
+        flows = ls.flows
+        if dt <= 0 or not flows:
+            return
+        ls.busy += dt
+        if len(flows) == 1:
+            f = flows[0]
+            drained = ls.bw * dt
+            f.remaining -= drained
+            ls.delivered += min(drained, max(0.0, f.remaining + drained))
+            if f.remaining <= _EPS_BYTES:
+                del flows[0]
+                push(now, _EV_DONE, f.tenant)
+            return
+        rate = ls.bw / float(len(flows))
+        done: list[_FluidFlow] = []
+        for f in flows:
+            drained = rate * dt
+            f.remaining -= drained
+            ls.delivered += min(drained, max(0.0, f.remaining + drained))
+            if f.remaining <= _EPS_BYTES:
+                done.append(f)
+        for f in done:
+            flows.remove(f)
+            push(now, _EV_DONE, f.tenant)
+
+    def link_earliest(ls: _LinkState) -> float | None:
+        flows = ls.flows
+        if not flows:
+            return None
+        if len(flows) == 1:
+            return flows[0].remaining / ls.bw
+        rate = ls.bw / float(len(flows))
+        return min(f.remaining / rate for f in flows)
+
+    def link_reschedule(ls: _LinkState, now: float) -> None:
+        # force-complete flows whose finish delay underflows the clock,
+        # exactly like FairShareLink._complete_underflowed
+        while True:
+            dt = link_earliest(ls)
+            if dt is None or now + dt > now:
+                break
+            f = min(ls.flows, key=lambda fl: fl.remaining)
+            ls.flows.remove(f)
+            push(now, _EV_DONE, f.tenant)
+        ls.version += 1
+        if dt is not None:
+            push(now + (dt if dt > 0.0 else 0.0), _EV_WAKE, ls.index, ls.version)
+
+    # -- tenant state machine ---------------------------------------------
+    def start_step(i: int, now: float) -> None:
+        plan = plans[i]
+        if plan.next >= len(plan.steps):
+            plan.end = now
+            return
+        st = plan.steps[plan.next]
+        if st.write:
+            # writebacks follow the previous step synchronously
+            request_channel(i, now)
+        else:
+            # faults pay the serial kernel cost first (a DES timeout hop)
+            plan.t0 = now
+            push(now + st.pre, _EV_CHAN, i)
+
+    def request_channel(i: int, now: float) -> None:
+        ps = plans[i].pool
+        if ps.in_use < ps.cap and not ps.queue:
+            # Resource.try_acquire: synchronous, same engine step
+            ps.in_use += 1
+            ps.grants += 1
+            begin_command(i, now)
+        else:
+            ps.queue.append((i, now))
+
+    def begin_command(i: int, now: float) -> None:
+        plan = plans[i]
+        push(now + plan.steps[plan.next].command, _EV_XFER, i)
+
+    def start_transfers(i: int, now: float) -> None:
+        plan = plans[i]
+        st = plan.steps[plan.next]
+        stages = plan.stages_write if st.write else plan.stages_read
+        plan.pending = len(stages)
+        nbytes = float(st.moved)
+        for ls in stages:
+            link_advance(ls, now)
+            ls.flows.append(_FluidFlow(nbytes, i))
+            ls.demand += nbytes
+            ls.n_flows += 1
+            link_reschedule(ls, now)
+
+    def stage_done(i: int, now: float) -> None:
+        plan = plans[i]
+        plan.pending -= 1
+        if plan.pending:
+            return
+        if len(plan.stages_read) == 1:
+            # single stage: the process resumes at the flow event itself
+            finish_step(i, now)
+        else:
+            # multiple stages: the all_of gate is one more same-time event
+            push(now, _EV_FINISH, i)
+
+    def finish_step(i: int, now: float) -> None:
+        plan = plans[i]
+        st = plan.steps[plan.next]
+        release_channel(plan.pool, now)
+        if not st.write:
+            plan.latencies.append(((now - plan.t0) / st.count, st.count))
+        plan.next += 1
+        start_step(i, now)
+
+    def release_channel(ps: _PoolState, now: float) -> None:
+        ps.in_use -= 1
+        if ps.queue:
+            j, t_enq = ps.queue.pop(0)
+            ps.in_use += 1
+            ps.grants += 1
+            ps.wait += now - t_enq
+            push(now, _EV_GRANT, j)
+
+    for i in range(len(plans)):
+        start_step(i, t_start)
+
+    pop_heap = heapq.heappop
+    while heap:
+        now, _s, kind, a, b = pop_heap(heap)
+        if kind == _EV_WAKE:
+            ls = link_list[a]
+            if b == ls.version:
+                link_advance(ls, now)
+                link_reschedule(ls, now)
+        elif kind == _EV_CHAN:
+            request_channel(a, now)
+        elif kind == _EV_XFER:
+            start_transfers(a, now)
+        elif kind == _EV_DONE:
+            stage_done(a, now)
+        elif kind == _EV_FINISH:
+            finish_step(a, now)
+        else:
+            begin_command(a, now)
+
+    if sim.sanitize:
+        for ls in link_list:
+            if ls.flows:
+                raise SanitizerError(
+                    f"fluid replay: link {ls.pipe.name!r} finished with "
+                    f"{len(ls.flows)} active flow(s)"
+                )
+            lost = ls.demand - ls.delivered
+            if lost > 1e-3 * max(1, ls.n_flows) or lost < -1e-6:
+                raise SanitizerError(
+                    f"fluid replay: link {ls.pipe.name!r} delivered "
+                    f"{ls.delivered} of {ls.demand} demanded bytes"
+                )
+        for ps in pools.values():
+            if ps.in_use or ps.queue:
+                raise SanitizerError(
+                    f"fluid replay: channel pool {ps.pool.name!r} finished "
+                    f"with {ps.in_use} held / {len(ps.queue)} queued"
+                )
+
+    # credit the shared topology with the schedule it would have carried
+    for ls in link_list:
+        ls.pipe.account_external(ls.delivered, ls.busy)
+    for ps in pools.values():
+        ps.pool.total_grants += ps.grants
+        ps.pool.total_wait += ps.wait
+    for plan in plans:
+        dev, mod, fe = plan.device, plan.module, plan.frontend
+        for st in plan.steps:
+            if st.write:
+                dev.bytes_written += st.moved
+                mod.pages_stored += st.count
+                fe.stores += st.count
+                fe.listening_queue.put_nowait(("stored_batch", st.count, fe.active_backend))
+            else:
+                dev.bytes_read += st.moved
+                mod.pages_loaded += st.count
+                fe.loads += st.count
+                fe.listening_queue.put_nowait(("loaded_batch", st.count, fe.active_backend))
+            dev.ops += st.count
+        add_repeat = plan.executor.result.fault_latency.add_repeat
+        for mean, count in plan.latencies:
+            add_repeat(mean, count)
+    end = max(plan.end for plan in plans)
+    if end > sim.now:
+        sim.run(until=end)
+    return [plan.end - t_start for plan in plans]
+
+
+def _des_phase2(sim, plans: list[_TenantPlan]) -> list[float]:
+    """Admit every tenant's step schedule through the real event engine.
+
+    One coroutine per tenant, concurrently — O(windows) events per tenant
+    instead of O(accesses); the reference the fluid solver is checked
+    against, and the fallback for devices with custom batched I/O paths.
+    """
+    t_start = sim.now
+    ends = [t_start] * len(plans)
+
+    def admit(i: int, plan: _TenantPlan):
+        frontend = plan.frontend
+        g = plan.granularity
+        add_repeat = plan.executor.result.fault_latency.add_repeat
+        for st in plan.steps:
+            if st.write:
+                yield from frontend.store_batch_gen(st.count, granularity=g)
+            else:
+                t0 = sim.now
+                yield sim.timeout(st.pre)
+                yield from frontend.load_batch_gen(st.count, granularity=g)
+                add_repeat((sim.now - t0) / st.count, st.count)
+        ends[i] = sim.now
+
+    procs = [sim.process(admit(i, plan), name=f"exec:replay:{i}")
+             for i, plan in enumerate(plans)]
+    sim.run(until=sim.all_of(procs))
+    return [e - t_start for e in ends]
+
+
+def replay_run_multi(executors, traces, classifications=None, solver=None):
+    """Phase 2 for N tenants contending on shared backends.
+
+    Equivalent to running every executor's per-access event loop
+    *concurrently* on the shared simulator: per-tenant counters and end
+    state are bit-identical (they are phase-1 facts — LRU decisions never
+    read the clock), and per-tenant ``sim_time`` matches the windowed DES
+    admission reference to float round-off (at one tenant that reference
+    itself matches the per-access loop to round-off; under contention the
+    window is the engine's admission quantum, see DESIGN.md §3.3).
+
+    ``solver`` picks the phase-2 backend: ``"fluid"`` (analytic
+    progressive-filling, the default when every device uses the stock
+    batched I/O path), ``"des"`` (windowed admission through the event
+    engine), or ``None`` to choose automatically.
+    """
+    if solver not in (None, "fluid", "des"):
+        raise ConfigurationError(
+            f"unknown solver {solver!r}; expected 'fluid', 'des', or None"
+        )
+    executors = list(executors)
+    traces = list(traces)
+    if not executors or len(executors) != len(traces):
+        raise ConfigurationError(
+            f"need one trace per executor, got {len(executors)} executor(s) "
+            f"and {len(traces)} trace(s)"
+        )
+    if len({id(ex) for ex in executors}) != len(executors):
+        raise ConfigurationError("tenant executors must be distinct")
+    sim = executors[0].sim
+    for ex in executors:
+        if ex.sim is not sim:
+            raise ConfigurationError("tenant executors must share one simulator")
+        if not ex._batch_eligible():
+            raise ConfigurationError(
+                "replay_run_multi needs cold executors on an idle simulator"
+            )
+    if classifications is None:
+        classifications = [
+            classify_trace(tr, ex.lru.capacity, ex.lru.active_ratio)
+            for ex, tr in zip(executors, traces)
+        ]
+    plans = []
+    for ex, cls in zip(executors, classifications):
+        _apply_classification(ex, cls)
+        plans.append(_TenantPlan(ex, cls))
+    if solver is None:
+        solver = "fluid" if all(_fluid_supported(p.device) for p in plans) else "des"
+    if solver == "fluid":
+        durations = _fluid_phase2(sim, plans)
+    else:
+        durations = _des_phase2(sim, plans)
+    for ex, cls, duration in zip(executors, classifications, durations):
+        if cls.far_end.size:
+            ex.frontend.adopt_far_pages(cls.far_end.tolist())
+        ex.result.sim_time = duration
+        if sim.sanitize:
+            ex.assert_page_conservation()
+    return [ex.result for ex in executors]

@@ -57,6 +57,23 @@ def test_cli_run_csv(capsys):
     assert out.splitlines()[0].startswith("generation,")
 
 
+def test_cli_replay_tenants_both(capsys):
+    assert main([
+        "replay", "tf-infer", "--tenants", "2", "--engine", "both",
+        "--scale", "0.1", "--max-accesses", "4000", "--backend", "rdma",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tenants=2" in out
+    assert "batch[0]" in out and "event[1]" in out
+    assert "engines agree on every counter across 2 tenant(s)" in out
+    assert "max sim_time relative error" in out
+
+
+def test_cli_replay_rejects_bad_tenant_count(capsys):
+    assert main(["replay", "tf-infer", "--tenants", "0"]) == 2
+    assert "--tenants" in capsys.readouterr().err
+
+
 def test_cli_workloads(capsys):
     assert main(["workloads", "--scale", "0.1"]) == 0
     out = capsys.readouterr().out
@@ -74,5 +91,5 @@ def test_registry_ids_match_modules():
         "fig01b", "fig02b", "fig03", "fig04", "fig05", "fig08", "fig10_11",
         "fig12", "table06", "fig14", "table07", "fig15", "fig16", "fig17",
         "fig18", "fig19", "ablation", "cxl_study", "des_validation",
-        "replay_validation", "online_study", "tier_study",
+        "replay_validation", "tenant_scaling", "online_study", "tier_study",
     }

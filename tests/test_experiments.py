@@ -60,7 +60,11 @@ def test_fig03_doubling_trend(results):
 
 
 def test_fig04_multipath_wins(results):
-    assert results("fig04").metrics["mean_speedup"] > 1.5
+    m = results("fig04").metrics
+    assert m["mean_speedup"] > 1.5
+    # measured column: sharing one device costs something, but far less
+    # than the full hierarchical-path penalty
+    assert 1.0 <= m["mean_measured_contention"] < m["mean_speedup"]
 
 
 def test_fig05_granularity_and_width(results):
@@ -155,9 +159,29 @@ def test_fig17_isolation(results):
     res = results("fig17")
     m = res.metrics
     assert 1.3 < m["mean_isolation_speedup"] < 2.2   # paper: ~1.7x
+    # measured replay: oversubscribed shared device visibly hurts per-op
+    # latency, same ballpark as the analytic isolation claim
+    assert 1.2 < m["mean_measured_contention"] < 3.0
     for row in res.rows:
         assert row[1] > row[3]                 # shared worse than vm-isolated
         assert 0.9 < row[5] < 1.2              # vm-isolated ~ isolated
+        assert row[7] >= 1.0 - 1e-9            # sharing never helps the probe
+
+
+def test_tenant_scaling_curves(results):
+    res = results("tenant_scaling")
+    m = res.metrics
+    # slowdown grows with co-tenancy on both backends, monotonically
+    assert m["ssd_monotone_fraction"] == 1.0
+    assert m["rdma_monotone_fraction"] == 1.0
+    assert m["ssd_slowdown_64"] > 2.0
+    assert m["rdma_slowdown_64"] > 2.0
+    for row in res.rows:
+        backend, n, mean_sd, max_sd, util_r, util_w, span = row
+        assert max_sd >= mean_sd >= 1.0 - 1e-9
+        assert 0.0 <= util_r <= 1.0 and 0.0 <= util_w <= 1.0
+        if n == 1:
+            assert mean_sd == pytest.approx(1.0)
 
 
 def test_fig18_overheads(results):

@@ -1,0 +1,317 @@
+"""Equivalence suite for the multi-tenant contended replay engine.
+
+The contract has two independently checked sides (DESIGN.md §3.3):
+
+* **counters** — bit-identical per tenant to the concurrent per-access
+  event loop, for any tenant count: classification is timing-independent,
+  so contention can reorder I/O but never change which accesses hit,
+  fault, or evict;
+* **timing** — the fluid fair-share solver's per-tenant ``sim_time``
+  equals the windowed DES admission reference (``solver="des"``) to float
+  round-off at every tenant count, and at one tenant that reference
+  itself matches the per-access loop to round-off.
+
+The sweep covers backends × tenant counts × access distributions, shared
+PCIe-switch topologies, eligibility fallbacks, and a hypothesis property
+test.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import BackendKind
+from repro.devices.registry import make_device
+from repro.errors import ConfigurationError
+from repro.mem.page import PageOp
+from repro.simcore import Simulator
+from repro.swap.executor import make_contended_executors, run_tenants
+from repro.swap.replay import REPLAY_ENV, replay_run_multi
+from repro.topology.pcie import PCIeSwitch
+from repro.trace.schema import make_trace
+
+COUNTERS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+            "swap_outs", "clean_drops", "file_skips")
+
+#: fluid-vs-DES per-tenant completion time tolerance (measured: bit-equal)
+TIME_RTOL = 1e-9
+
+DISTS = ("uniform", "zipf", "sequential")
+
+
+def _build_trace(seed, n, distinct, dist, store_ratio=0.3):
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        pages = rng.integers(0, distinct, size=n)
+    elif dist == "zipf":
+        pages = (rng.zipf(1.3, size=n) - 1) % distinct
+    else:  # sequential
+        pages = (np.arange(n) + rng.integers(0, distinct)) % distinct
+    ops = np.where(rng.random(n) < store_ratio, int(PageOp.STORE), int(PageOp.LOAD))
+    return make_trace(pages, ops=ops)
+
+
+def _tenant_traces(n_tenants, seed0=0, n=4000, distinct=300):
+    return [
+        _build_trace(seed0 + i, n, distinct, DISTS[i % len(DISTS)])
+        for i in range(n_tenants)
+    ]
+
+
+def _run_mt(traces, mode, kind=BackendKind.SSD, local_pages=90, solver=None,
+            sanitize=False, switch=False):
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = mode
+    try:
+        sim = Simulator(sanitize=sanitize)
+        sw = PCIeSwitch(sim) if switch else None
+        device = make_device(sim, kind, switch=sw)
+        executors = make_contended_executors(
+            sim, device, kind, len(traces), local_pages=local_pages
+        )
+        if solver is not None:
+            results = replay_run_multi(executors, traces, solver=solver)
+        else:
+            results = run_tenants(executors, traces)
+        return results, executors
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def _assert_mt_equivalent(traces, **kwargs):
+    """The three-way check: fluid vs event counters, fluid vs DES timing."""
+    fluid, fex = _run_mt(traces, "batch", **kwargs)
+    event, eex = _run_mt(traces, "event", **kwargs)
+    des, _ = _run_mt(traces, "batch", solver="des", **kwargs)
+    for i in range(len(traces)):
+        for counter in COUNTERS:
+            assert getattr(fluid[i], counter) == getattr(event[i], counter), \
+                (i, counter)
+        assert fluid[i].sim_time == pytest.approx(des[i].sim_time, rel=TIME_RTOL)
+        assert fluid[i].fault_latency.n == event[i].fault_latency.n
+        b_act, b_inact = fex[i].lru.state_arrays()
+        e_act, e_inact = eex[i].lru.state_arrays()
+        assert b_act.tolist() == e_act.tolist()
+        assert b_inact.tolist() == e_inact.tolist()
+        assert fex[i]._touched == eex[i]._touched
+        assert fex[i].frontend._owner == eex[i].frontend._owner
+        assert fex[i].frontend.stores == eex[i].frontend.stores
+        assert fex[i].frontend.loads == eex[i].frontend.loads
+    return fluid, event, des
+
+
+@pytest.mark.parametrize("kind", [BackendKind.SSD, BackendKind.RDMA])
+@pytest.mark.parametrize("n_tenants", [1, 2, 4, 8])
+def test_mt_sweep_backends_tenants_distributions(kind, n_tenants):
+    """The acceptance sweep: backends × tenant counts, tenants cycling
+    through all three access distributions."""
+    traces = _tenant_traces(n_tenants, seed0=10 * n_tenants)
+    _assert_mt_equivalent(traces, kind=kind)
+
+
+def test_single_tenant_fluid_matches_per_access_loop():
+    """At N=1 the window is degenerate: the fluid solver must match the
+    *per-access* event loop to round-off, not just the DES reference."""
+    for dist in DISTS:
+        traces = [_build_trace(42, 4000, 300, dist)]
+        fluid, fex = _run_mt(traces, "batch")
+        event, _ = _run_mt(traces, "event")
+        assert fluid[0].sim_time == pytest.approx(event[0].sim_time, rel=TIME_RTOL)
+
+
+def test_mt_single_channel_backend_queueing():
+    """HDD has one channel: phase 2 is FCFS-queue dominated, the hardest
+    ordering case for the fluid solver's grant replication."""
+    traces = _tenant_traces(4, seed0=77, n=2500, distinct=250)
+    fluid, event, des = _assert_mt_equivalent(traces, kind=BackendKind.HDD)
+    assert any(r.faults for r in fluid)
+
+
+def test_mt_shared_switch_three_stage_path():
+    """Devices behind a shared PCIe switch: payloads cross media + slot +
+    switch pipes concurrently (the ``all_of`` gate path)."""
+    traces = _tenant_traces(4, seed0=31)
+    _assert_mt_equivalent(traces, switch=True)
+
+
+def test_mt_cross_device_contention_on_switch():
+    """Two devices of different kinds under one switch, two tenants each:
+    contention meets only at the shared switch pipe."""
+    saved = os.environ.get(REPLAY_ENV)
+    results = {}
+    try:
+        for mode, solver in (("batch", None), ("batch", "des"), ("event", None)):
+            os.environ[REPLAY_ENV] = mode
+            sim = Simulator()
+            sw = PCIeSwitch(sim)
+            d_ssd = make_device(sim, BackendKind.SSD, switch=sw)
+            d_rdma = make_device(sim, BackendKind.RDMA, switch=sw)
+            executors = (
+                make_contended_executors(sim, d_ssd, BackendKind.SSD, 2, local_pages=80)
+                + make_contended_executors(sim, d_rdma, BackendKind.RDMA, 2, local_pages=80)
+            )
+            traces = _tenant_traces(4, seed0=55)
+            if solver is not None:
+                results[(mode, solver)] = replay_run_multi(executors, traces, solver=solver)
+            else:
+                results[(mode, solver)] = run_tenants(executors, traces)
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+    fluid = results[("batch", None)]
+    des = results[("batch", "des")]
+    event = results[("event", None)]
+    for i in range(4):
+        for counter in COUNTERS:
+            assert getattr(fluid[i], counter) == getattr(event[i], counter), (i, counter)
+        assert fluid[i].sim_time == pytest.approx(des[i].sim_time, rel=TIME_RTOL)
+
+
+def test_mt_event_engine_forced():
+    """REPRO_REPLAY=event must bypass batching even for eligible tenants."""
+    traces = _tenant_traces(2, seed0=91)
+    _, executors = _run_mt(traces, "event")
+    # the per-access loop populates per-page listening-queue entries;
+    # batched admission would post aggregate tuples instead
+    item = executors[0].frontend.listening_queue._items[0]
+    assert item[0] in ("stored", "loaded")
+
+
+def test_mt_warm_tenant_falls_back_to_event_loop():
+    """One warm tenant makes the whole group ineligible; results must
+    still match an all-event run."""
+    saved = os.environ.get(REPLAY_ENV)
+    try:
+        per_mode = {}
+        for mode in ("batch", "event"):
+            os.environ[REPLAY_ENV] = mode
+            sim = Simulator()
+            device = make_device(sim, BackendKind.SSD)
+            executors = make_contended_executors(
+                sim, device, BackendKind.SSD, 2, local_pages=60
+            )
+            # warm up tenant 0 so _batch_eligible() fails for it
+            os.environ[REPLAY_ENV] = "event"
+            executors[0].run(_build_trace(7, 800, 100, "zipf"))
+            os.environ[REPLAY_ENV] = mode
+            run_tenants(executors, _tenant_traces(2, seed0=13, n=2000, distinct=200))
+            per_mode[mode] = [ex.result for ex in executors]
+        for i in range(2):
+            for counter in COUNTERS:
+                assert getattr(per_mode["batch"][i], counter) == \
+                    getattr(per_mode["event"][i], counter), (i, counter)
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def test_mt_validation_errors():
+    sim = Simulator()
+    device = make_device(sim, BackendKind.SSD)
+    executors = make_contended_executors(sim, device, BackendKind.SSD, 2, local_pages=50)
+    traces = _tenant_traces(2, seed0=3)
+    with pytest.raises(ConfigurationError):
+        run_tenants(executors, traces[:1])  # length mismatch
+    with pytest.raises(ConfigurationError):
+        run_tenants([], [])
+    with pytest.raises(ConfigurationError):
+        replay_run_multi(executors, traces, solver="turbo")
+    with pytest.raises(ConfigurationError):
+        replay_run_multi([executors[0], executors[0]], traces)  # duplicate
+    other = Simulator()
+    foreign = make_contended_executors(other, make_device(other, BackendKind.SSD),
+                                       BackendKind.SSD, 1, local_pages=50)
+    with pytest.raises(ConfigurationError):
+        run_tenants([executors[0], foreign[0]], traces)
+
+
+def test_mt_all_hit_tenant_finishes_instantly():
+    """A tenant whose working set fits local memory admits nothing; its
+    sim_time is zero while co-tenants still pay for their faults."""
+    quiet = make_trace(np.tile(np.arange(10), 100))
+    noisy = _build_trace(5, 3000, 300, "uniform")
+    fluid, _ = _run_mt([quiet, noisy], "batch", local_pages=64)
+    event, _ = _run_mt([quiet, noisy], "event", local_pages=64)
+    assert fluid[0].faults == 0 and fluid[0].sim_time == 0.0
+    for counter in COUNTERS:
+        assert getattr(fluid[1], counter) == getattr(event[1], counter)
+
+
+def test_mt_pool_and_link_metrics_match_des():
+    """The fluid solver credits the shared topology (link bytes/busy,
+    channel grants/waits, device ops) identically to the DES reference."""
+    traces = _tenant_traces(4, seed0=21, n=3000)
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = "batch"
+    try:
+        stats = {}
+        for solver in ("fluid", "des"):
+            sim = Simulator()
+            device = make_device(sim, BackendKind.HDD)
+            executors = make_contended_executors(
+                sim, device, BackendKind.HDD, 4, local_pages=90
+            )
+            replay_run_multi(executors, traces, solver=solver)
+            stats[solver] = (
+                device.ops, device.bytes_read, device.bytes_written,
+                device.channel_pool.total_grants,
+                device.channel_pool.total_wait,
+                device._media_read.total_bytes,
+                device._media_read.busy_time,
+                device._media_read.utilization(),
+            )
+        f, d = stats["fluid"], stats["des"]
+        assert f[:4] == d[:4]
+        for a, b in zip(f[4:], d[4:]):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+@pytest.mark.sanitize
+def test_mt_fluid_passes_sanitizer():
+    """Sanitize mode runs the solver's own invariants (drained links,
+    empty channel queues, byte conservation) plus page conservation."""
+    traces = _tenant_traces(4, seed0=17)
+    fluid, executors = _run_mt(traces, "batch", sanitize=True, switch=True)
+    assert any(r.faults for r in fluid)
+    for ex in executors:
+        ex.assert_page_conservation()
+
+
+# -- property test -----------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=2**20), min_size=2, max_size=4),
+    n=st.integers(min_value=200, max_value=1200),
+    distinct=st.integers(min_value=20, max_value=120),
+    local_pages=st.integers(min_value=8, max_value=60),
+)
+def test_property_mt_fluid_equals_event_and_des(seeds, n, distinct, local_pages):
+    traces = [
+        _build_trace(seed, n, distinct, DISTS[i % len(DISTS)])
+        for i, seed in enumerate(seeds)
+    ]
+    fluid, fex = _run_mt(traces, "batch", local_pages=local_pages)
+    event, eex = _run_mt(traces, "event", local_pages=local_pages)
+    des, _ = _run_mt(traces, "batch", solver="des", local_pages=local_pages)
+    for i in range(len(traces)):
+        for counter in COUNTERS:
+            assert getattr(fluid[i], counter) == getattr(event[i], counter), \
+                (i, counter)
+        assert fluid[i].sim_time == pytest.approx(des[i].sim_time, rel=TIME_RTOL)
+        assert fex[i].frontend._owner == eex[i].frontend._owner
