@@ -436,6 +436,47 @@ class MissingDunderAll(Rule):
         )
 
 
+_FAULT_PLAN_NAMES = frozenset({
+    "FaultPlan",
+    "repro.faults.FaultPlan",
+    "repro.faults.plan.FaultPlan",
+})
+
+
+@_register
+class UnseededFaultPlan(Rule):
+    id = "FLT001"
+    title = "fault plans with windows must be seeded"
+    rationale = (
+        "fault timing and transient-error draws must derive from the run seed "
+        "(repro.rng.derive keys the plan's stream); an unseeded FaultPlan makes "
+        "failover runs unreproducible"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or ctx.resolve(dotted) not in _FAULT_PLAN_NAMES:
+                continue
+            has_windows = bool(node.args) or any(
+                k.arg == "windows" for k in node.keywords
+            )
+            if not has_windows:
+                continue  # empty plan: no stochastic surface, no seed needed
+            seed: ast.expr | None = node.args[1] if len(node.args) >= 2 else None
+            if seed is None:
+                kw = next((k for k in node.keywords if k.arg == "seed"), None)
+                seed = kw.value if kw is not None else None
+            if seed is None or (isinstance(seed, ast.Constant) and seed.value is None):
+                yield self.finding(
+                    ctx, node,
+                    "FaultPlan with fault windows but no seed=; derive the plan "
+                    "seed from the run seed so injection is reproducible",
+                )
+
+
 def rule_table() -> list[tuple[str, str, str]]:
     """(id, title, rationale) per rule, for ``--list-rules`` and the docs."""
     return [(r.id, r.title, r.rationale) for r in RULES.values()]

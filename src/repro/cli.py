@@ -7,6 +7,7 @@ Subcommands::
     xdm-repro run all [--jobs N]        # every experiment, text tables
     xdm-repro workloads                 # Table V with fused characteristics
     xdm-repro replay bert [--engine both] [--backend ssd] [--tenants N]
+    xdm-repro replay bert --inject plan.json  # fault-injected replay
     xdm-repro cache info|clear          # persistent artifact cache
     xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
 
@@ -70,6 +71,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.devices.registry import BackendKind, make_device
+    from repro.faults import FaultPlan, FaultyDevice
     from repro.simcore import Simulator
     from repro.swap.executor import make_contended_executors, run_tenants
     from repro.swap.replay import REPLAY_ENV
@@ -81,6 +83,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.tenants < 1:
         print(f"--tenants must be >= 1, got {args.tenants}", file=sys.stderr)
         return 2
+    plan = None
+    if args.inject:
+        plan = FaultPlan.load(args.inject)
+        if plan and args.engine != "event":
+            # fault windows break the batch engine's predetermined-outcome
+            # premise; the executor falls back to the event loop on its own,
+            # but say so rather than silently ignoring --engine
+            print("note: fault plan forces the per-access event engine",
+                  file=sys.stderr)
     kind = BackendKind(args.backend)
     w = TABLE_V[args.workload]
     n = args.tenants
@@ -103,6 +114,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             os.environ[REPLAY_ENV] = engine
             sim = Simulator()
             device = make_device(sim, kind)
+            if plan is not None:
+                device = FaultyDevice(device, plan)
             executors = make_contended_executors(
                 sim, device, kind, n, local_pages=local
             )
@@ -121,6 +134,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"  {tag}: {stats}")
             print(f"  {' ' * len(tag)}  sim_time={res.sim_time:.6f}s "
                   f"mean_fault_latency={res.fault_latency.mean * 1e6:.2f}us")
+            if plan is not None:
+                print(f"  {' ' * len(tag)}  transient_retries={res.transient_retries} "
+                      f"stall_time={res.stall_time:.6f}s failovers={res.failovers}")
     if len(engines) == 2:
         mismatched = False
         max_rel = 0.0
@@ -209,6 +225,11 @@ def main(argv: list[str] | None = None) -> int:
     p_replay.add_argument("--seed", type=int, default=None, help="root RNG seed")
     p_replay.add_argument("--max-accesses", type=int, default=200_000,
                           help="truncate the trace (0 = full; default 200000)")
+    p_replay.add_argument("--inject", metavar="PLAN.JSON", default=None,
+                          help="fault-plan JSON to inject on the backend device; "
+                               "window times are absolute simulated seconds "
+                               "(module start delays the first access by ~1s); "
+                               "a non-empty plan forces the event engine")
     p_replay.set_defaults(func=_cmd_replay)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")

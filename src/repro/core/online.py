@@ -125,6 +125,17 @@ class OnlineController:
                 features, self.device,
                 fault_parallelism=self.fault_parallelism, fm_ratio=max(0.0, min(0.9, bounded)),
             )
+            # the gate cleared for the *unbounded* move; the bounded decision
+            # is a different configuration with a smaller gain, which must
+            # clear the hysteresis threshold on its own merits — and the
+            # event must record the gain actually realized, not the
+            # unreachable one
+            old_cost_bounded = model.cost(decision.local_pages, self.current.config)
+            bounded_time = decision.predicted.sys_time
+            gain = (
+                old_cost_bounded.sys_time / bounded_time if bounded_time > 0 else 1.0
+            )
+            apply = gain >= self.gain_threshold
 
         event = ReconfigureEvent(
             epoch=monitor.epochs,

@@ -313,10 +313,13 @@ class FarMemoryDevice:
         finally:
             self.channel_pool.release(grant)
         self.ops += 1
+        # credit whole granules, not the requested bytes: a partial last op
+        # still moves a full unit, and _io_batch already counts this way —
+        # per-op and batched runs must report identical wire bytes
         if write:
-            self.bytes_written += nbytes
+            self.bytes_written += moved
         else:
-            self.bytes_read += nbytes
+            self.bytes_read += moved
         return self.sim.now - start
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -19,6 +19,9 @@ __all__ = [
     "SlotExhaustedError",
     "BackendUnavailableError",
     "SwitchInProgressError",
+    "FaultInjectionError",
+    "TransientDeviceError",
+    "DeviceOfflineError",
     "VMStateError",
     "DispatchError",
     "TraceError",
@@ -74,6 +77,32 @@ class BackendUnavailableError(SwapError):
 
 class SwitchInProgressError(SwapError):
     """A backend switch was requested while another switch is still active."""
+
+
+class FaultInjectionError(SwapError):
+    """Base class for injected device failures (:mod:`repro.faults`).
+
+    Raised only by :class:`~repro.faults.FaultyDevice` during an active
+    fault window — a healthy device never raises it.  Callers that retry
+    should catch the concrete subclasses: transient errors are worth a
+    bounded retry, offline errors call for failover.
+    """
+
+
+class TransientDeviceError(FaultInjectionError):
+    """A single injected operation failure (media error, dropped verb).
+
+    The op may succeed if re-submitted; the swap executor retries with a
+    bounded budget and exponential backoff before escalating.
+    """
+
+
+class DeviceOfflineError(FaultInjectionError):
+    """The device is injected fully offline (pulled cable, firmware hang).
+
+    Retrying immediately is pointless; callers should fail over to a
+    standby backend or stall until the outage window passes.
+    """
 
 
 class VMStateError(ReproError):

@@ -13,6 +13,7 @@ from repro.experiments import (
     ablation,
     cxl_study,
     des_validation,
+    failover_study,
     fig01b,
     fig02b,
     fig03,
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "tenant_scaling": tenant_scaling.run,
     "online_study": online_study.run,
     "tier_study": tier_study.run,
+    "failover_study": failover_study.run,
 }
 
 

@@ -1,0 +1,44 @@
+"""Fault injection and runtime backend failover.
+
+The substrate the resilience studies run on:
+
+* :mod:`repro.faults.plan` — seeded, timed fault windows (latency
+  inflation, bandwidth degradation, transient op errors, full offline)
+  with JSON round-trip for the ``--inject`` CLI;
+* :mod:`repro.faults.device` — :class:`FaultyDevice`, a decorator that
+  applies a plan to any far-memory device on both the analytic and DES
+  interfaces without breaking byte conservation;
+* :mod:`repro.faults.monitor` — :class:`HealthMonitor`, windowed
+  detection of degradation from observed latencies and delivered bytes;
+* :mod:`repro.faults.failover` — :class:`FailoverController`, MEI-driven
+  mid-run switching to a standby backend.
+"""
+
+from __future__ import annotations
+
+from repro.faults.device import FaultyDevice
+from repro.faults.failover import FailoverController, FailoverEvent, ObservedDevice
+from repro.faults.monitor import HealthMonitor, HealthReport
+from repro.faults.plan import (
+    BandwidthFault,
+    FaultPlan,
+    FaultWindow,
+    LatencyFault,
+    OfflineFault,
+    TransientFault,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultWindow",
+    "LatencyFault",
+    "BandwidthFault",
+    "TransientFault",
+    "OfflineFault",
+    "FaultyDevice",
+    "HealthMonitor",
+    "HealthReport",
+    "FailoverController",
+    "FailoverEvent",
+    "ObservedDevice",
+]

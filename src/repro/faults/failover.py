@@ -1,0 +1,258 @@
+"""Runtime backend failover driven by observed health.
+
+This is the runtime counterpart of the implicit switcher
+(:mod:`repro.core.switching`): where the switcher picks a backend *before*
+a run from profiled features, the :class:`FailoverController` re-ranks
+backends *during* one, using MEI computed against the degraded behaviour
+the :class:`~repro.faults.monitor.HealthMonitor` actually measured — not
+against the plan (the controller is not an oracle) and not against the
+healthy profile (which would never justify leaving a nominally faster
+backend that is limping).
+
+The measured degradation factors are applied to the active backend's
+profile through :class:`ObservedDevice`, an analytic stand-in whose
+op costs and media bandwidth are scaled by the monitor's estimates; the
+standard :func:`~repro.core.mei.backend_priority` ranking then runs over
+{observed active backend} ∪ {healthy standbys}.  When the winner differs
+from the active backend, the controller drives the swap frontend's
+``switch_to`` mid-run — new stores go to the standby immediately, while
+pages on the degraded backend migrate lazily on fault, exactly the
+switching semantics of Fig 7.
+
+Offline escalation (:meth:`FailoverController.escalate_gen`) additionally
+marks the backend down in the switcher's availability view, so subsequent
+decisions skip it until someone calls ``mark_up``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mei import backend_priority
+from repro.core.switching import ImplicitSwitcher
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError
+from repro.faults.monitor import HealthMonitor, HealthReport
+from repro.swap.frontend import SwapFrontend
+from repro.trace.fusion import PageFeatures
+
+__all__ = ["ObservedDevice", "FailoverEvent", "FailoverController"]
+
+
+class ObservedDevice(FarMemoryDevice):
+    """Analytic stand-in: a device's profile scaled by measured degradation.
+
+    Only the analytic interface is meaningful; the DES side is never
+    driven (MEI ranking prices candidates in closed form).
+    """
+
+    def __init__(
+        self,
+        device: FarMemoryDevice,
+        latency_factor: float = 1.0,
+        bandwidth_fraction: float = 1.0,
+    ) -> None:
+        base = getattr(device, "inner", device)
+        super().__init__(
+            base.sim,
+            base.profile,
+            link=base.link,
+            switch=base.switch,
+            name=f"observed:{base.name}",
+        )
+        self._latency_factor = max(1.0, latency_factor)
+        self._bandwidth_fraction = min(1.0, max(1e-3, bandwidth_fraction))
+
+    def _op_cost(self, write: bool, granularity: int) -> float:
+        return super()._op_cost(write, granularity) * self._latency_factor
+
+    def _media_bw(self, write: bool) -> float:
+        return super()._media_bw(write) * self._bandwidth_fraction
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One controller decision: detection, switch, or stay-put."""
+
+    time: float
+    backend: str                 #: backend the decision was about
+    target: str | None           #: switch destination (None = no switch)
+    reason: str
+    report: HealthReport | None  #: None for offline escalations
+
+
+class FailoverController:
+    """Monitors the active backend and fails over when MEI says to.
+
+    The executor calls :meth:`observe_fault` per served fault and
+    :meth:`check_gen` every health-check interval; on unrecoverable
+    device errors it calls :meth:`escalate_gen`.  ``switcher`` supplies
+    the candidate set (name -> (device, config)) and the availability
+    view; every candidate must also be registered as a module on
+    ``frontend`` so ``switch_to`` can reach it.
+    """
+
+    def __init__(
+        self,
+        frontend: SwapFrontend,
+        switcher: ImplicitSwitcher,
+        features: PageFeatures,
+        compute_time: float,
+        fm_ratio: float = 0.5,
+        fault_parallelism: float = 1.0,
+        latency_threshold: float = 3.0,
+        bandwidth_floor: float = 0.5,
+        min_samples: int = 16,
+    ) -> None:
+        missing = [n for n in switcher.candidates if n not in frontend.backends]
+        if missing:
+            raise ConfigurationError(
+                f"switcher candidates {missing} have no frontend module; "
+                "register standby modules before attaching the controller"
+            )
+        self.frontend = frontend
+        self.switcher = switcher
+        self.features = features
+        self.compute_time = compute_time
+        self.fm_ratio = fm_ratio
+        self.fault_parallelism = fault_parallelism
+        self.latency_threshold = latency_threshold
+        self.bandwidth_floor = bandwidth_floor
+        self.min_samples = min_samples
+        self.sim = frontend.sim
+        self.monitors: dict[str, HealthMonitor] = {}
+        self.events: list[FailoverEvent] = []
+        #: first time a degradation report (or escalation) fired
+        self.detected_at: float | None = None
+        #: completion time of the first failover switch
+        self.switched_at: float | None = None
+
+    # -- monitoring --------------------------------------------------------
+    def monitor(self, name: str | None = None) -> HealthMonitor:
+        """The (lazily created) monitor for ``name`` (default: active)."""
+        if name is None:
+            name = self.frontend.active_backend
+        if name is None:
+            raise ConfigurationError("no active backend to monitor")
+        if name not in self.monitors:
+            device, _ = self.switcher.candidates[name]
+            self.monitors[name] = HealthMonitor(
+                device,
+                latency_threshold=self.latency_threshold,
+                bandwidth_floor=self.bandwidth_floor,
+                min_samples=self.min_samples,
+            )
+        return self.monitors[name]
+
+    def observe_fault(self, latency: float, nbytes: float,
+                      backend: str | None = None) -> None:
+        """Feed one fault's measured service time to a backend's monitor.
+
+        ``backend`` names the module that actually served the load (with
+        lazy migration that is the page's *owner*, not necessarily the
+        active backend) — misattributing a degraded owner's latencies to
+        a freshly switched-to standby would immediately flag the standby
+        and flap straight back.
+        """
+        if backend is None:
+            backend = self.frontend.active_backend
+        if backend is not None and backend in self.switcher.candidates:
+            self.monitor(backend).record(latency, nbytes)
+
+    # -- decisions ---------------------------------------------------------
+    def _best_target(self, degraded: str, report: HealthReport | None) -> str | None:
+        """MEI-best available backend, pricing ``degraded`` as observed."""
+        candidates: dict[str, tuple] = {}
+        for name, (device, config) in self.switcher.candidates.items():
+            if not self.switcher.availability[name].available:
+                continue
+            if name == degraded and report is not None:
+                device = ObservedDevice(
+                    device,
+                    latency_factor=report.latency_factor,
+                    bandwidth_fraction=report.bandwidth_fraction,
+                )
+            candidates[name] = (device, config)
+        if not candidates:
+            return None
+        ranked = backend_priority(
+            self.features,
+            self.compute_time,
+            candidates,
+            fm_ratio=self.fm_ratio,
+            fault_parallelism=self.fault_parallelism,
+        )
+        return ranked[0][0]
+
+    def check_gen(self):
+        """DES generator: evaluate the active monitor's window, maybe switch.
+
+        Returns the new backend name after a completed switch, else None.
+        """
+        name = self.frontend.active_backend
+        if name is None:
+            return None
+        report = self.monitor(name).check(self.sim.now)
+        if report is None or report.healthy:
+            return None
+        if self.detected_at is None:
+            self.detected_at = self.sim.now
+        target = self._best_target(name, report)
+        if target is None or target == name:
+            self.events.append(
+                FailoverEvent(
+                    time=self.sim.now, backend=name, target=None,
+                    reason=f"degraded but staying: {report.reason}", report=report,
+                )
+            )
+            return None
+        yield self.frontend.switch_to(target)
+        if self.switched_at is None:
+            self.switched_at = self.sim.now
+        self.switcher.invalidate()
+        self.events.append(
+            FailoverEvent(
+                time=self.sim.now, backend=name, target=target,
+                reason=report.reason, report=report,
+            )
+        )
+        return target
+
+    def escalate_gen(self, reason: str = "device offline"):
+        """DES generator: hard failover after an unrecoverable device error.
+
+        Marks the active backend down, switches to the MEI-best standby
+        if one exists, and returns its name — or None when no standby is
+        available (the caller falls back to graceful degradation).
+        """
+        name = self.frontend.active_backend
+        if name is None:
+            return None
+        self.switcher.availability[name].mark_down()
+        self.switcher.invalidate()
+        if self.detected_at is None:
+            self.detected_at = self.sim.now
+        self.events.append(
+            FailoverEvent(
+                time=self.sim.now, backend=name, target=None,
+                reason=reason, report=None,
+            )
+        )
+        target = self._best_target(name, None)
+        if target is None or target == name:
+            return None
+        yield self.frontend.switch_to(target)
+        if self.switched_at is None:
+            self.switched_at = self.sim.now
+        self.events.append(
+            FailoverEvent(
+                time=self.sim.now, backend=name, target=target,
+                reason=reason, report=None,
+            )
+        )
+        return target
+
+    @property
+    def failovers(self) -> int:
+        """Completed backend switches the controller drove."""
+        return sum(1 for e in self.events if e.target is not None)

@@ -1,0 +1,176 @@
+"""Health monitoring: detecting backend degradation from observations.
+
+The monitor never looks at the fault plan — it sees only what a kernel
+would: per-fault service latencies and delivered bytes.  Observations
+accumulate into a sliding *window* (a log-binned latency
+:class:`~repro.simcore.Histogram` plus byte/busy-time totals); each
+:meth:`HealthMonitor.check` compares the window against a healthy
+baseline and resets it, so detection tracks *recent* behaviour rather
+than being diluted by the run's healthy prefix.
+
+The baseline comes from the device's analytic profile (for a
+:class:`~repro.faults.device.FaultyDevice`, the wrapped healthy device):
+single-op latency from ``page_latency`` and delivered per-op bandwidth
+from the first observed op's granularity over that latency — fault
+windows may already be active when monitoring starts, so calibrating
+from early measurements would bake the degradation into the baseline.
+A window flags degradation when its p99 latency exceeds
+``latency_threshold`` times baseline or delivered bandwidth falls below
+``bandwidth_floor`` of baseline; the report also carries *estimated*
+degradation factors (median-latency ratio, delivered-bandwidth ratio),
+which the failover controller feeds into MEI re-ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import FarMemoryDevice
+from repro.errors import ConfigurationError
+from repro.simcore import Histogram, OnlineStats, TimeSeries
+
+__all__ = ["HealthReport", "HealthMonitor"]
+
+#: Log-histogram span around the expected latency (lo = expected / SPAN,
+#: hi = expected * SPAN) — wide enough for 100x degradation either way.
+_HIST_SPAN = 128.0
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One window's verdict on a backend's health."""
+
+    time: float
+    healthy: bool
+    reason: str                 #: "" when healthy
+    samples: int
+    p50_latency: float
+    p99_latency: float
+    delivered_bandwidth: float  #: bytes per busy-second over the window
+    #: estimated op-latency inflation vs baseline (>= 1)
+    latency_factor: float
+    #: estimated delivered-bandwidth fraction vs baseline (<= 1)
+    bandwidth_fraction: float
+
+
+class HealthMonitor:
+    """Window-based degradation detector for one backend device."""
+
+    def __init__(
+        self,
+        device: FarMemoryDevice,
+        baseline_latency: float | None = None,
+        baseline_bandwidth: float | None = None,
+        latency_threshold: float = 3.0,
+        bandwidth_floor: float = 0.5,
+        min_samples: int = 16,
+    ) -> None:
+        if latency_threshold <= 1.0:
+            raise ConfigurationError(
+                f"latency_threshold must be > 1, got {latency_threshold}"
+            )
+        if not 0.0 < bandwidth_floor < 1.0:
+            raise ConfigurationError(
+                f"bandwidth_floor must be in (0, 1), got {bandwidth_floor}"
+            )
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1, got {min_samples}")
+        self.device = device
+        # the healthy envelope: for a FaultyDevice, the wrapped device's
+        # analytics (the wrapper's reflect whatever window is active now)
+        self._base = getattr(device, "inner", device)
+        self._expected_latency = self._base.page_latency()
+        self.baseline_latency = (
+            baseline_latency if baseline_latency is not None else self._expected_latency
+        )
+        # delivered bytes-per-busy-second of a serial op stream depends on
+        # the caller's op granularity, which the monitor learns from the
+        # first observation; an explicit value overrides
+        self.baseline_bandwidth = baseline_bandwidth
+        self.latency_threshold = latency_threshold
+        self.bandwidth_floor = bandwidth_floor
+        self.min_samples = min_samples
+        #: lifetime latency stats (never reset)
+        self.lifetime = OnlineStats()
+        #: delivered bandwidth per completed window, for plots
+        self.delivered = TimeSeries(name=f"{device.name}:delivered-bw")
+        self.reports: list[HealthReport] = []
+        self._window = self._fresh_window()
+        self._window_bytes = 0.0
+        self._window_busy = 0.0
+
+    def _fresh_window(self) -> Histogram:
+        return Histogram(
+            lo=self._expected_latency / _HIST_SPAN,
+            hi=self._expected_latency * _HIST_SPAN,
+            bins=96,
+        )
+
+    @property
+    def samples(self) -> int:
+        """Observations in the current (un-checked) window."""
+        return len(self._window)
+
+    def record(self, latency: float, nbytes: float) -> None:
+        """Feed one observed operation (fault service) into the window."""
+        if latency <= 0:
+            return
+        if self.baseline_bandwidth is None and nbytes > 0:
+            self.baseline_bandwidth = nbytes / self._base.page_latency(
+                granularity=max(1, int(nbytes))
+            )
+        self.lifetime.add(latency)
+        self._window.add(latency)
+        self._window_bytes += nbytes
+        self._window_busy += latency
+
+    def check(self, now: float) -> HealthReport | None:
+        """Evaluate and reset the current window.
+
+        Returns ``None`` while the window is below ``min_samples`` (the
+        window keeps accumulating).
+        """
+        n = len(self._window)
+        if n < self.min_samples:
+            return None
+        p50 = self._window.percentile(50)
+        p99 = self._window.percentile(99)
+        bw = self._window_bytes / self._window_busy if self._window_busy > 0 else 0.0
+        self.delivered.record(now, bw)
+        self._window = self._fresh_window()
+        self._window_bytes = 0.0
+        self._window_busy = 0.0
+
+        baseline_bw = self.baseline_bandwidth if self.baseline_bandwidth else 0.0
+        latency_factor = max(1.0, p50 / self.baseline_latency)
+        bandwidth_fraction = min(1.0, bw / baseline_bw) if baseline_bw > 0 else 1.0
+        reasons = []
+        if p99 > self.latency_threshold * self.baseline_latency:
+            reasons.append(
+                f"p99 latency {p99:.3g}s > {self.latency_threshold:g}x "
+                f"baseline {self.baseline_latency:.3g}s"
+            )
+        if baseline_bw > 0 and bw < self.bandwidth_floor * baseline_bw:
+            reasons.append(
+                f"delivered bw {bw:.3g}B/s < {self.bandwidth_floor:g}x "
+                f"baseline {baseline_bw:.3g}B/s"
+            )
+        report = HealthReport(
+            time=now,
+            healthy=not reasons,
+            reason="; ".join(reasons),
+            samples=n,
+            p50_latency=p50,
+            p99_latency=p99,
+            delivered_bandwidth=bw,
+            latency_factor=latency_factor,
+            bandwidth_fraction=bandwidth_fraction,
+        )
+        self.reports.append(report)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<HealthMonitor {self.device.name} window={len(self._window)} "
+            f"reports={len(self.reports)}>"
+        )

@@ -169,7 +169,11 @@ class Histogram:
         total = int(self.counts.sum())
         if total == 0:
             return 0.0
-        target = total * q / 100.0
+        # q=0 means "the smallest observation's bucket": a zero target would
+        # satisfy every cumulative test (including an *empty* underflow
+        # bucket, which used to return lo unconditionally), so aim for the
+        # first occupied bucket instead.
+        target = max(1.0, total * q / 100.0)
         cum = 0
         # underflow bucket maps to lo, overflow to hi
         if self.counts[0] >= target:

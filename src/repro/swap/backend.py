@@ -199,6 +199,19 @@ class SwapBackendModule:
                 raise SwapError(f"page {page} already stored on {self.name}")
             self._map[int(page)] = self.slots.allocate()
 
+    def abort_store(self, page: int) -> None:
+        """Roll back an in-flight :meth:`store_gen` whose device I/O failed.
+
+        ``store_gen`` claims the slot and map entry eagerly, before the
+        device write; a caller that catches an injected device error
+        mid-store must release them before re-submitting, or the retry
+        would see the page as already stored.
+        """
+        if page not in self._map:
+            raise SwapError(f"abort_store: page {page} has no in-flight store on {self.name}")
+        slot = self._map.pop(page)
+        self.slots.release(slot)
+
     def invalidate(self, page: int) -> None:
         """Drop a retained swap-cache copy without any I/O (page dirtied)."""
         if page not in self._map:

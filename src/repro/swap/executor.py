@@ -32,21 +32,57 @@ from dataclasses import dataclass, field
 
 from repro.devices.base import FarMemoryDevice
 from repro.devices.registry import BackendKind
-from repro.errors import ConfigurationError, SanitizerError
+from repro.errors import (
+    ConfigurationError,
+    DeviceOfflineError,
+    SanitizerError,
+    TransientDeviceError,
+)
 from repro.mem.lru import ActiveInactiveLRU
 from repro.mem.page import PageKind, PageOp
-from repro.simcore import OnlineStats, Simulator
+from repro.simcore import OnlineStats, Simulator, TimeSeries
 from repro.swap.backend import build_backend_module
 from repro.swap.frontend import SwapFrontend
 from repro.swap.pathmodel import FAULT_COST, SwapConfig
 from repro.swap.replay import REPLAY_ENV, replay_run, replay_run_multi
 from repro.trace.schema import PageTrace
+from repro.units import usec
 
-__all__ = ["SwapExecutionResult", "SwapExecutor", "run_tenants",
+__all__ = ["RetryPolicy", "SwapExecutionResult", "SwapExecutor", "run_tenants",
            "make_contended_executors"]
 
-#: Sanitizer mode checks page conservation every this-many accesses.
-_SANITIZE_STRIDE = 256
+#: Progress is sampled (and, in sanitizer mode, page conservation checked)
+#: every this-many accesses of the event-level loop.
+_PROGRESS_STRIDE = 256
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for injected device errors.
+
+    Models the kernel block layer's requeue behaviour: a transient error
+    is re-submitted up to ``max_retries`` times with
+    ``backoff * backoff_factor**(attempt-1)`` between attempts, after
+    which the error escalates (failover or graceful degradation).
+    """
+
+    max_retries: int = 4
+    backoff: float = usec(50.0)
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff <= 0:
+            raise ConfigurationError(f"backoff must be positive, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
 
 
 @dataclass
@@ -62,6 +98,9 @@ class SwapExecutionResult:
     clean_drops: int = 0   #: clean victims dropped without writeback
     file_skips: int = 0
     sim_time: float = 0.0      #: simulated seconds spent swapping
+    transient_retries: int = 0 #: injected transient failures that were retried
+    stall_time: float = 0.0    #: graceful-degradation wait for fault windows, seconds
+    failovers: int = 0         #: completed mid-run backend switches
     fault_latency: OnlineStats = field(default_factory=OnlineStats)
 
     @property
@@ -81,6 +120,7 @@ class SwapExecutor:
         local_pages: int,
         config: SwapConfig | None = None,
         seq_ratio: float = 0.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if local_pages < 2:
             raise ConfigurationError(f"local_pages must be >= 2, got {local_pages}")
@@ -89,6 +129,18 @@ class SwapExecutor:
         self.sim = sim
         self.config = config or SwapConfig()
         self.seq_ratio = seq_ratio
+        self.retry = retry or RetryPolicy()
+        #: optional FailoverController (see :meth:`attach_failover`)
+        self.failover = None
+        #: faults between health-monitor window evaluations
+        self.health_check_interval = 64
+        #: lazy migration: after a fault served by a non-active owner, drop
+        #: the stale far copy so the page's next eviction re-stores it on
+        #: the active backend.  Off by default (planned-switch studies keep
+        #: the swap-cache copy); enabled when a failover controller is
+        #: attached — re-faulting a hot clean page from a degraded backend
+        #: forever defeats the point of switching away from it.
+        self.migrate_on_fault = False
         self.frontend = SwapFrontend(sim, name="exec:fe")
         module = build_backend_module(sim, kind, device)
         module.name = str(kind)
@@ -104,6 +156,48 @@ class SwapExecutor:
         # the swap cache need no rewrite — Linux's add_to_swap fast path
         self._dirty: set[int] = set()
         self.result = SwapExecutionResult()
+        #: (sim time, accesses completed) sampled every _PROGRESS_STRIDE
+        #: accesses of the event-level loop (batched replay, which only
+        #: runs fault-free, leaves it empty)
+        self.progress: TimeSeries = TimeSeries(name="exec:progress")
+
+    # -- fault tolerance -------------------------------------------------------
+    def add_standby(self, kind: BackendKind, device: FarMemoryDevice) -> None:
+        """Register (but do not start) a standby backend module.
+
+        The standby only costs its module-start time when a failover
+        actually switches to it — the pre-assembled-module warm start.
+        """
+        module = build_backend_module(self.sim, kind, device)
+        module.name = str(kind)
+        self.frontend.register(module)
+
+    def attach_failover(self, controller, health_check_interval: int = 64) -> None:
+        """Wire a :class:`~repro.faults.failover.FailoverController` in.
+
+        The controller must share this executor's frontend.  Every served
+        fault feeds the controller's active-backend health monitor, and
+        every ``health_check_interval`` faults the monitor window is
+        evaluated (possibly driving a mid-run backend switch).
+        """
+        if health_check_interval < 1:
+            raise ConfigurationError(
+                f"health_check_interval must be >= 1, got {health_check_interval}"
+            )
+        if getattr(controller, "frontend", None) is not self.frontend:
+            raise ConfigurationError(
+                "failover controller must be built on this executor's frontend"
+            )
+        self.failover = controller
+        self.health_check_interval = health_check_interval
+        self.migrate_on_fault = True
+
+    def _fault_injected(self) -> bool:
+        """Whether any registered module wraps a device with a live plan."""
+        return any(
+            getattr(self.frontend.module(name).device, "fault_plan", None)
+            for name in self.frontend.backends
+        )
 
     # -- execution -----------------------------------------------------------
     def run(self, trace: PageTrace) -> SwapExecutionResult:
@@ -134,7 +228,12 @@ class SwapExecutor:
         The classification pass assumes the access outcome stream is
         predetermined by the trace alone: nothing may be resident or
         swapped out yet, no counters accumulated, and no concurrent DES
-        activity that the per-access loop would interleave with.
+        activity that the per-access loop would interleave with.  Fault
+        windows break that premise — retries, stalls, and mid-run
+        switches depend on *when* each access runs — so any attached
+        failover controller or non-empty fault plan forces the event
+        engine (an empty :class:`~repro.faults.plan.FaultPlan` is
+        harmless and keeps batch eligibility).
         """
         return (
             self.sim.idle
@@ -143,6 +242,8 @@ class SwapExecutor:
             and len(self.lru) == 0
             and not self._evicted
             and self.frontend.resident_far_pages == 0
+            and self.failover is None
+            and not self._fault_injected()
         )
 
     def _run_proc(self, trace: PageTrace):
@@ -179,15 +280,34 @@ class SwapExecutor:
             else:
                 res.faults += 1
                 t0 = sim.now
+                owner = frontend.owner_of(page)
                 yield sim.timeout(FAULT_COST)
                 # one device op fetches the granule covering this page; the
                 # far copy is retained (swap cache) so a clean re-reclaim
                 # later needs no rewrite
-                yield from frontend.load_page_gen(
-                    page, granularity=granularity, keep_copy=True
-                )
+                yield from self._load_guarded(page, granularity)
                 res.swap_ins += 1
-                add_latency(sim.now - t0)
+                if (
+                    self.migrate_on_fault
+                    and owner is not None
+                    and owner != frontend.active_backend
+                    and swapped_out(page)
+                ):
+                    # lazy migration off a failed-over backend: drop the
+                    # retained copy (no I/O) so the next eviction stores
+                    # the page on the active backend instead
+                    frontend.invalidate_page(page)
+                latency = sim.now - t0
+                add_latency(latency)
+                failover = self.failover
+                if failover is not None:
+                    # attribute the latency to the module that served it —
+                    # under lazy migration the page's owner, which after a
+                    # switch is often still the degraded old backend
+                    failover.observe_fault(latency, granularity, backend=owner)
+                    if res.faults % self.health_check_interval == 0:
+                        if (yield from failover.check_gen()) is not None:
+                            res.failovers += 1
                 dirtied_now = op == store_op
             if dirtied_now:
                 dirty.add(page)
@@ -202,15 +322,114 @@ class SwapExecutor:
                     # local frame, no writeback
                     res.clean_drops += 1
                     continue
-                yield from frontend.store_page_gen(victim, granularity=granularity)
+                yield from self._store_guarded(victim, granularity)
                 res.swap_outs += 1
                 dirty.discard(victim)
-            if sanitize and res.accesses % _SANITIZE_STRIDE == 0:
-                self.assert_page_conservation()
+            if res.accesses % _PROGRESS_STRIDE == 0:
+                self.progress.record(sim.now, float(res.accesses))
+                if sanitize:
+                    self.assert_page_conservation()
         if self.sim.sanitize:
             self.assert_page_conservation()
+        self.progress.record(sim.now, float(res.accesses))
         res.sim_time = self.sim.now - start
         return res
+
+    # -- guarded I/O (fault tolerance) -----------------------------------------
+    def _owner_device(self, page: int) -> FarMemoryDevice:
+        """Device of the backend serving ``page`` (active backend fallback)."""
+        owner = self.frontend.owner_of(page)
+        name = owner if owner is not None else self.frontend.active_backend
+        return self.frontend.module(name).device
+
+    def _stall_for(self, device: FarMemoryDevice):
+        """Graceful degradation: wait out the device's current fault window.
+
+        When the window end is unknown (no plan attached, or the plan says
+        healthy but the device still failed), fall back to one maximal
+        backoff so simulated time always advances between attempts.
+        """
+        plan = getattr(device, "fault_plan", None)
+        now = self.sim.now
+        recovery = plan.next_recovery(now) if plan is not None else None
+        if recovery is not None and recovery > now:
+            wait = recovery - now
+        else:
+            wait = self.retry.delay(self.retry.max_retries + 1)
+        self.result.stall_time += wait
+        yield self.sim.timeout(wait)
+
+    def _load_guarded(self, page: int, granularity: int):
+        """Load with bounded transient retries and offline stall.
+
+        A page's data lives on its owning backend, so an offline owner
+        cannot be failed over — graceful degradation stalls the faulting
+        task (local memory pressure: the resident set simply stops
+        growing) until the window passes, then retries.  Past the retry
+        budget on a *transient* window the op keeps re-submitting at the
+        maximal backoff (the window will pass; waiting it out entirely
+        would punish a recoverable blip like an outage), with the extra
+        waiting booked as stall time.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.frontend.load_page_gen(
+                    page, granularity=granularity, keep_copy=True
+                )
+                return
+            except TransientDeviceError:
+                attempt += 1
+                self.result.transient_retries += 1
+                delay = self.retry.delay(min(attempt, self.retry.max_retries + 1))
+                if attempt > self.retry.max_retries:
+                    self.result.stall_time += delay
+                yield self.sim.timeout(delay)
+            except DeviceOfflineError:
+                yield from self._stall_for(self._owner_device(page))
+                attempt = 0
+
+    def _store_guarded(self, victim: int, granularity: int):
+        """Store with retries, rollback, and failover escalation.
+
+        Unlike loads, a store may change destination: after the retry
+        budget (or an offline rejection), an attached failover controller
+        switches the active backend and the store is re-submitted there;
+        without one, graceful degradation stalls until the window passes.
+        Each failed attempt rolls back the module's eager slot/map
+        bookkeeping via ``abort_store``.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.frontend.store_page_gen(victim, granularity=granularity)
+                return
+            except TransientDeviceError:
+                self.frontend.abort_store(victim)
+                attempt += 1
+                self.result.transient_retries += 1
+                if attempt > self.retry.max_retries:
+                    yield from self._escalate_store()
+                    attempt = 0
+                else:
+                    yield self.sim.timeout(self.retry.delay(attempt))
+            except DeviceOfflineError:
+                self.frontend.abort_store(victim)
+                yield from self._escalate_store()
+                attempt = 0
+
+    def _escalate_store(self):
+        """Fail the active backend over if possible, else stall."""
+        active = self.frontend.active_backend
+        device = self.frontend.module(active).device
+        if self.failover is not None:
+            target = yield from self.failover.escalate_gen(
+                reason=f"store to {active} failed past the retry budget"
+            )
+            if target is not None:
+                self.result.failovers += 1
+                return
+        yield from self._stall_for(device)
 
     # -- sanitizer -------------------------------------------------------------
     def assert_page_conservation(self) -> None:

@@ -117,11 +117,15 @@ class SwapFrontend:
             return False
         if self._active is None:
             raise BackendUnavailableError(f"{self.name}: no active backend")
-        module = self._modules[self._active]
+        # capture the active name once: a concurrent switch_to may complete
+        # while the device I/O is in flight, and ownership must record the
+        # module that actually took the page, not whoever is active by then
+        active = self._active
+        module = self._modules[active]
         yield from module.store_gen(page, granularity=granularity, weight=weight)
-        self._owner[page] = self._active
+        self._owner[page] = active
         self.stores += 1
-        self.listening_queue.put_nowait(("stored", page, self._active))
+        self.listening_queue.put_nowait(("stored", page, active))
         return True
 
     def load_page(self, page: int, granularity: int = PAGE_SIZE, weight: float = 1.0,
@@ -166,10 +170,11 @@ class SwapFrontend:
             return 0
         if self._active is None:
             raise BackendUnavailableError(f"{self.name}: no active backend")
-        module = self._modules[self._active]
+        active = self._active
+        module = self._modules[active]
         yield from module.store_batch_gen(count, granularity=granularity, weight=weight)
         self.stores += count
-        self.listening_queue.put_nowait(("stored_batch", count, self._active))
+        self.listening_queue.put_nowait(("stored_batch", count, active))
         return count
 
     def load_batch_gen(self, count: int, granularity: int = PAGE_SIZE, weight: float = 1.0):
@@ -181,10 +186,11 @@ class SwapFrontend:
             return 0
         if self._active is None:
             raise BackendUnavailableError(f"{self.name}: no active backend")
-        module = self._modules[self._active]
+        active = self._active
+        module = self._modules[active]
         yield from module.load_batch_gen(count, granularity=granularity, weight=weight)
         self.loads += count
-        self.listening_queue.put_nowait(("loaded_batch", count, self._active))
+        self.listening_queue.put_nowait(("loaded_batch", count, active))
         return count
 
     def adopt_far_pages(self, pages, backend: str | None = None) -> None:
@@ -199,6 +205,24 @@ class SwapFrontend:
         for page in pages:
             self._owner[int(page)] = name
 
+    def abort_store(self, page: int) -> None:
+        """Roll back a failed in-flight store before ownership was recorded.
+
+        Called by retry loops that caught a device error out of
+        :meth:`store_page_gen`: the eager slot/map bookkeeping is undone so
+        the store can be re-submitted (to this backend or, after a
+        failover, another).  The entry is looked up across modules rather
+        than on the active one — a switch may have completed while the
+        failed store was in flight.
+        """
+        for module in self._modules.values():
+            if module.holds(page):
+                module.abort_store(page)
+                return
+        raise BackendUnavailableError(
+            f"{self.name}: page {page} has no in-flight store to abort"
+        )
+
     def invalidate_page(self, page: int) -> None:
         """Drop a retained far copy (the resident page was dirtied)."""
         owner = self._owner.pop(page, None)
@@ -209,6 +233,10 @@ class SwapFrontend:
     def swapped_out(self, page: int) -> bool:
         """Whether ``page`` currently lives on some backend."""
         return page in self._owner
+
+    def owner_of(self, page: int) -> str | None:
+        """Backend name currently holding ``page`` (None if not swapped out)."""
+        return self._owner.get(page)
 
     @property
     def resident_far_pages(self) -> int:

@@ -70,6 +70,15 @@ CASES = [
     ("PY001", "def f(x=dict()):\n    pass\n", True),
     ("PY001", "def f(x=None):\n    pass\n", False),
     ("PY001", "def f(x=()):\n    pass\n", False),
+    # FLT001 — fault plans with windows must be seeded
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan([w])\n", True),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan(windows=[w])\n", True),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan([w], seed=None)\n", True),
+    ("FLT001", "from repro.faults.plan import FaultPlan\np = FaultPlan([w])\n", True),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan([w], seed=7)\n", False),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan([w], run_seed)\n", False),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan()\n", False),
+    ("FLT001", "from repro.faults import FaultPlan\np = FaultPlan(windows=ws, seed=s)\n", False),
 ]
 
 

@@ -8,7 +8,12 @@ from repro.devices import RDMANic
 from repro.errors import ConfigurationError
 from repro.simcore import Simulator
 from repro.units import PAGE_SIZE
-from repro.workloads.generators import assemble, sequential_scan, zipf_accesses
+from repro.workloads.generators import (
+    assemble,
+    hot_cold_accesses,
+    sequential_scan,
+    zipf_accesses,
+)
 
 
 @pytest.fixture()
@@ -91,6 +96,56 @@ def test_ratio_step_rate_limits_moves():
     mon2.observe(_rand_trace(seed=7))
     ctl.step(mon2, fm_ratio=0.8)  # wants +0.6 at once
     assert ctl.current.fm_ratio <= 0.2 + 0.1 + 1e-9
+
+
+def test_rate_limited_move_regates_on_the_bounded_decision():
+    """Regression: the hysteresis gate used to clear on the *unbounded*
+    move's gain and then apply the rate-limited one, recording a gain the
+    bounded step cannot realize.  Here the unbounded move (fm 0.1 -> 0.8)
+    predicts a large speedup, but the bounded step (-> 0.2) lands where
+    the hot set still fits locally (zero capacity misses, gain 1.0) — so
+    nothing may be applied, and the event must say so."""
+    from repro.swap.pathmodel import SwapPathModel
+
+    def _hot_cold():
+        rng = np.random.default_rng(2)
+        return assemble(
+            rng,
+            hot_cold_accesses(rng, 4096, 16000, hot_fraction=0.05,
+                              hot_probability=0.995),
+            anon_ratio=1.0,
+        )
+
+    sim = Simulator()
+    ctl = OnlineController(RDMANic(sim), fault_parallelism=8, ratio_step=0.1)
+    mon = EpochMonitor()
+    mon.observe(_seq_trace())
+    ctl.step(mon, fm_ratio=0.1)
+    prev = ctl.current
+    mon2 = EpochMonitor()
+    mon2.observe(_hot_cold())
+    event = ctl.step(mon2, fm_ratio=0.8)  # wants +0.7, bounded to +0.1
+
+    # recompute both gains offline (epoch_features() is consumable, so a
+    # fresh monitor replays the same window)
+    mon3 = EpochMonitor()
+    mon3.observe(_hot_cold())
+    features = mon3.epoch_features()
+    model = SwapPathModel(ctl.device, features, fault_parallelism=8)
+    unbounded = ctl.console.configure(
+        features, ctl.device, fault_parallelism=8, fm_ratio=0.8)
+    unbounded_gain = (
+        model.cost(unbounded.local_pages, prev.config).sys_time
+        / unbounded.predicted.sys_time)
+    bounded = ctl.console.configure(
+        features, ctl.device, fault_parallelism=8, fm_ratio=0.2)
+    assert unbounded_gain >= ctl.gain_threshold  # the old gate would clear
+    assert bounded.predicted.misses == 0         # but the bounded step buys nothing
+
+    assert not event.applied
+    assert event.predicted_gain == pytest.approx(1.0)
+    assert ctl.current is prev
+    assert ctl.current.fm_ratio == pytest.approx(0.1)
 
 
 def test_controller_validates():

@@ -68,6 +68,77 @@ def test_online_stats_merge_empty_cases():
     assert b.n == 1 and b.mean == 1.0
 
 
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), max_size=50),
+    st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), max_size=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_online_stats_merge_handles_empty_sides(a, b):
+    """Merge must match sequential feeding with either side possibly empty
+    (n=0 on the left, the right, or both)."""
+    left, right, seq = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in a:
+        left.add(x)
+        seq.add(x)
+    for x in b:
+        right.add(x)
+        seq.add(x)
+    left.merge(right)
+    assert left.n == seq.n
+    if seq.n:
+        assert left.mean == pytest.approx(seq.mean, rel=1e-9, abs=1e-9)
+        assert left.variance == pytest.approx(seq.variance, rel=1e-6, abs=1e-6)
+        assert left.minimum == seq.minimum and left.maximum == seq.maximum
+    else:
+        assert left.mean == 0.0 and left.variance == 0.0
+
+
+@given(
+    prefix=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), max_size=30),
+    x=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    count=st.one_of(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=100_000, max_value=10_000_000),
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_online_stats_add_repeat_matches_brute_force(prefix, x, count):
+    """add_repeat is O(1) but must equal ``count`` individual adds —
+    including count=0 (no-op), a repeat into an empty accumulator, and
+    counts far too large to loop over (checked against closed form)."""
+    fast = OnlineStats()
+    for v in prefix:
+        fast.add(v)
+    fast.add_repeat(x, count)
+
+    if count <= 40:
+        brute = OnlineStats()
+        for v in prefix:
+            brute.add(v)
+        for _ in range(count):
+            brute.add(x)
+        assert fast.n == brute.n
+        assert fast.total == pytest.approx(brute.total, rel=1e-9, abs=1e-9)
+        if fast.n:
+            assert fast.mean == pytest.approx(brute.mean, rel=1e-9, abs=1e-9)
+            assert fast.variance == pytest.approx(brute.variance, rel=1e-6, abs=1e-6)
+            assert fast.minimum == brute.minimum
+            assert fast.maximum == brute.maximum
+    else:
+        # closed form over the combined sample, numpy-free of loops
+        all_n = len(prefix) + count
+        mean = (sum(prefix) + x * count) / all_n
+        var = (sum((v - mean) ** 2 for v in prefix) + count * (x - mean) ** 2) / (
+            all_n - 1
+        )
+        assert fast.n == all_n
+        assert fast.mean == pytest.approx(mean, rel=1e-9, abs=1e-9)
+        assert fast.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+        assert fast.minimum == min([x, *prefix])
+        assert fast.maximum == max([x, *prefix])
+
+
 # --------------------------------------------------------------- Histogram
 def test_histogram_binning_and_percentiles():
     h = Histogram(1e-6, 1.0, bins=32, log=True)
@@ -97,6 +168,37 @@ def test_histogram_validation():
     with pytest.raises(ValueError):
         h.percentile(101)
     assert h.percentile(50) == 0.0  # empty histogram
+
+
+def test_histogram_percentile_extremes():
+    """Regression: percentile(0) used to return ``lo`` unconditionally —
+    a zero cumulative target is satisfied by the (empty) underflow bucket.
+    q=0 must aim for the first *occupied* bucket instead."""
+    h = Histogram(1.0, 10.0, bins=4, log=False)  # bin width 2.25
+    for x in (2.0, 3.0, 9.0):
+        h.add(x)
+    assert h.percentile(0) == pytest.approx(2.125)    # mid of [1.0, 3.25)
+    assert h.percentile(100) == pytest.approx(8.875)  # mid of [7.75, 10.0)
+
+
+def test_histogram_percentile_single_value_in_last_bin():
+    h = Histogram(1.0, 10.0, bins=4, log=False)
+    h.add(9.0)
+    # the one observation lives in the last bin; q=0 must find it there
+    assert h.percentile(0) == pytest.approx(8.875)
+    assert h.percentile(50) == pytest.approx(8.875)
+    assert h.percentile(100) == pytest.approx(8.875)
+
+
+def test_histogram_percentile_all_underflow_or_overflow():
+    under = Histogram(1.0, 10.0, bins=4, log=False)
+    under.add(0.5)
+    assert under.percentile(0) == under.lo
+    assert under.percentile(100) == under.lo
+    over = Histogram(1.0, 10.0, bins=4, log=False)
+    over.add(50.0)
+    assert over.percentile(0) == over.hi
+    assert over.percentile(100) == over.hi
 
 
 def test_histogram_add_vs_add_many():

@@ -24,6 +24,7 @@ from repro.simcore import Simulator
 from repro.swap.executor import SwapExecutor
 from repro.swap.replay import REPLAY_ENV, classify_trace, trace_mrc
 from repro.trace.schema import make_trace
+from repro.units import PAGE_SIZE
 
 COUNTERS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
             "swap_outs", "clean_drops", "file_skips")
@@ -123,6 +124,25 @@ def test_batch_replay_passes_page_conservation():
     batch, executor = _run_mode(trace, 50, "batch")
     assert batch.faults > 0
     executor.assert_page_conservation()
+
+
+def test_device_byte_counters_match_across_engines():
+    """Regression: ``_io`` used to credit the *requested* bytes while the
+    batch engine credits whole granules — a partial last op still moves a
+    full unit, so per-op and batched runs must report identical wire
+    bytes, and swap traffic must land in the counters exactly as
+    pages x PAGE_SIZE."""
+    trace = _build_trace(16, 4000, 250, "zipf", store_ratio=0.5)
+    batch, bex = _run_mode(trace, 60, "batch")
+    event, eex = _run_mode(trace, 60, "event")
+    b_dev = bex.frontend.module("ssd").device
+    e_dev = eex.frontend.module("ssd").device
+    assert batch.swap_ins > 0 and batch.swap_outs > 0
+    assert b_dev.bytes_read == e_dev.bytes_read
+    assert b_dev.bytes_written == e_dev.bytes_written
+    assert b_dev.ops == e_dev.ops
+    assert b_dev.bytes_read == batch.swap_ins * PAGE_SIZE
+    assert b_dev.bytes_written == batch.swap_outs * PAGE_SIZE
 
 
 def test_unknown_replay_mode_rejected():
