@@ -25,6 +25,14 @@ Three suites, selected with ``--suite``:
     ``sim_time`` relative error alongside the throughput numbers.  Writes
     ``BENCH_replay_mt.json``; ``--check`` guards it like ``replay``.
 
+``lint``
+    Wall time of a full-tree simlint run (``src`` + ``tests`` +
+    ``benchmarks`` + ``examples``) with every pass enabled, including the
+    project-wide dataflow passes (dims / coro / parity).  Writes
+    ``BENCH_lint.json``.  ``--check`` fails (exit 1) if the run exceeds
+    :data:`LINT_BUDGET_SECONDS` — the lint must stay cheap enough to sit
+    in every CI pipeline and pre-commit hook.
+
 Every ``BENCH_*.json`` report shares one header convention: ``schema``
 (:data:`BENCH_SCHEMA`, bumped when a report layout changes), ``suite``,
 and ``generated`` (date).  ``--check`` refuses to compare against a
@@ -62,6 +70,9 @@ from repro.mem.reuse import _reuse_distances_fenwick, _warm_distances_vector
 
 #: --check fails when batch accesses/s drops below (1 - this) x baseline.
 REGRESSION_TOLERANCE = 0.25
+
+#: Hard wall-clock ceiling for one full-tree lint run (``--suite lint``).
+LINT_BUDGET_SECONDS = 10.0
 
 #: Report-layout version shared by every BENCH_*.json file.  Bump whenever
 #: any suite's report shape changes; ``--check`` then rejects the old
@@ -294,6 +305,51 @@ def bench_replay_mt(total_accesses: int, tenants: int, repeats: int) -> dict:
     }
 
 
+# -- lint suite --------------------------------------------------------------
+
+def bench_lint(repeats: int) -> dict:
+    """Time a full-tree simlint run, all passes enabled."""
+    from pathlib import Path
+
+    from repro.analysis import LintConfig, lint_paths
+
+    repo_root = Path(__file__).resolve().parent.parent
+    targets = [repo_root / d for d in ("src", "tests", "benchmarks", "examples")
+               if (repo_root / d).is_dir()]
+    config = LintConfig()
+    best = None
+    findings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        findings = lint_paths(targets, config)
+        seconds = time.perf_counter() - t0
+        if best is None or seconds < best:
+            best = seconds
+    n_files = sum(1 for t in targets for _ in t.rglob("*.py"))
+    return {
+        **_report_meta("lint"),
+        "targets": [t.name for t in targets],
+        "files": n_files,
+        "findings": len(findings),
+        "seconds": round(best, 3),
+        "files_per_s": int(n_files / best),
+        "budget_seconds": LINT_BUDGET_SECONDS,
+    }
+
+
+def check_lint_budget(report: dict) -> int:
+    """Fail when the full-tree lint run blows its wall-clock budget."""
+    got, budget = report["seconds"], LINT_BUDGET_SECONDS
+    status = "ok" if got <= budget else "OVER BUDGET"
+    print(f"lint: {report['files']} files in {got}s "
+          f"(budget {budget}s) {status}")
+    if got > budget:
+        print(f"full-tree lint exceeded its {budget}s budget: {got}s",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def check_replay_regression(report: dict, baseline_path: str, suite: str) -> int:
     """Compare a fresh replay report against the checked-in baseline."""
     baseline = load_baseline(baseline_path, suite)
@@ -320,7 +376,7 @@ def check_replay_regression(report: dict, baseline_path: str, suite: str) -> int
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("reuse", "replay", "replay-mt"),
+    parser.add_argument("--suite", choices=("reuse", "replay", "replay-mt", "lint"),
                         default="reuse")
     parser.add_argument("--out", default=None,
                         help="report path (default BENCH_<suite>.json)")
@@ -351,6 +407,12 @@ def main(argv: list[str] | None = None) -> int:
         report = bench_replay_mt(args.accesses, args.tenants, args.repeats)
         if args.check:
             return check_replay_regression(report, out, args.suite)
+    elif args.suite == "lint":
+        report = bench_lint(args.repeats)
+        if args.check:
+            rc = check_lint_budget(report)
+            if rc:
+                return rc
     else:
         pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
         vector = bench_kernel(_warm_distances_vector, pages, args.repeats)

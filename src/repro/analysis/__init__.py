@@ -1,12 +1,19 @@
 """simlint — determinism/units static analysis for the repro codebase.
 
 The simulator's core promises (keyed RNG streams, bit-stable event
-ordering, explicit units) live in docstrings; this package turns them
-into checked properties:
+ordering, explicit units, engine parity) live in docstrings; this package
+turns them into checked properties:
 
-* :mod:`repro.analysis.rules` — the rule set (DET*/UNIT*/SIM*/PY*).
+* :mod:`repro.analysis.rules` — module-scope rules (DET*/UNIT*/SIM*/PY*/FLT*).
+* :mod:`repro.analysis.symbols` — project-wide symbol table and call graph.
+* :mod:`repro.analysis.dataflow` — the forward-dataflow skeleton.
+* :mod:`repro.analysis.dims` — dimensional-units analysis (DIM001–DIM004).
+* :mod:`repro.analysis.coro` — coroutine-safety rules (CORO001–CORO003).
+* :mod:`repro.analysis.parity` — engine-parity analyzer (PAR001).
 * :mod:`repro.analysis.engine` — file walking, dispatch, per-line
   ``# simlint: ignore[RULE] -- reason`` suppressions.
+* :mod:`repro.analysis.baseline` — known-findings snapshots for
+  incremental adoption.
 * :mod:`repro.analysis.cli` — the ``repro-lint`` console script; also
   mounted as ``python -m repro.cli lint``.
 
@@ -15,15 +22,24 @@ The static pass is paired with a *runtime* sanitizer
 checks the dynamic counterparts of the same invariants.
 """
 
-from repro.analysis.engine import LintConfig, lint_file, lint_paths, lint_source
-from repro.analysis.findings import Finding, findings_to_json
+from repro.analysis.engine import (
+    LintConfig, lint_file, lint_paths, lint_source, lint_sources,
+)
+from repro.analysis.findings import Finding, findings_to_json, findings_to_sarif
 from repro.analysis.rules import RULES, rule_table
+
+# Importing the project-scope rule modules registers their rules.
+from repro.analysis import coro as _coro    # noqa: F401
+from repro.analysis import dims as _dims    # noqa: F401
+from repro.analysis import parity as _parity  # noqa: F401
 
 __all__ = [
     "Finding",
     "findings_to_json",
+    "findings_to_sarif",
     "LintConfig",
     "lint_source",
+    "lint_sources",
     "lint_file",
     "lint_paths",
     "RULES",

@@ -1,0 +1,81 @@
+"""Known-findings baselines (``repro lint --baseline``).
+
+A baseline lets a new rule family land *strict* on ``src/`` while older
+trees (``tests/``, ``benchmarks/``) adopt incrementally: the snapshot
+records how many findings each ``(path, rule)`` pair is allowed, and a
+compare run only reports findings beyond that budget.
+
+Matching is deliberately count-based, not line-based — line numbers churn
+with every edit, but "this file has 3 accepted UNIT001s" stays meaningful.
+Within one ``(path, rule)`` bucket the accepted findings are the first N in
+(line, column) order.  A baseline entry whose file now produces *fewer*
+findings is reported as stale on stderr so the snapshot ratchets down over
+time instead of fossilizing.
+
+File format (JSON)::
+
+    {"schema": 1, "counts": {"tests/foo.py::UNIT001": 3, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_SCHEMA", "write_baseline", "load_baseline", "apply_baseline"]
+
+BASELINE_SCHEMA = 1
+
+
+def _key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule}"
+
+
+def write_baseline(findings: list[Finding], path: Path) -> dict:
+    """Snapshot ``findings`` into a baseline file; returns the payload."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[_key(finding)] = counts.get(_key(finding), 0) + 1
+    payload = {"schema": BASELINE_SCHEMA, "counts": dict(sorted(counts.items()))}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def load_baseline(path: Path) -> dict:
+    """Load and validate a baseline file; raises ``ValueError`` when unusable."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema') if isinstance(payload, dict) else '?'}; "
+            f"expected {BASELINE_SCHEMA} — regenerate with --write-baseline"
+        )
+    counts = payload.get("counts")
+    if not isinstance(counts, dict) or not all(
+            isinstance(v, int) and v >= 0 for v in counts.values()):
+        raise ValueError(f"baseline {path} has a malformed counts table")
+    return payload
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: dict) -> tuple[list[Finding], list[str]]:
+    """Split findings into (new findings, stale baseline entries).
+
+    The first N findings per ``(path, rule)`` bucket — in the engine's
+    (line, col) sort order — are absorbed by the baseline; the remainder
+    are new.  Entries whose budget was not fully used are stale.
+    """
+    budget = dict(baseline.get("counts", {}))
+    fresh: list[Finding] = []
+    for finding in findings:  # engine output is already sorted
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    stale = sorted(key for key, left in budget.items() if left > 0)
+    return fresh, stale

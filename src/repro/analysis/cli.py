@@ -2,9 +2,14 @@
 
 Exit codes follow the classic lint contract:
 
-* ``0`` — no findings (clean, or everything suppressed with a reason)
+* ``0`` — no findings (clean, everything suppressed with a reason, or all
+  findings absorbed by the baseline)
 * ``1`` — findings reported
-* ``2`` — usage error (unknown rule id, missing path, bad arguments)
+* ``2`` — usage error (unknown rule id, missing path, unusable baseline)
+
+Formats: ``text`` (default), ``json`` (plain finding dicts), ``sarif``
+(SARIF 2.1.0 for CI annotation upload).  ``--write-baseline`` snapshots the
+current findings; ``--baseline`` reports only findings beyond the snapshot.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ import os
 import sys
 from pathlib import Path
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import LintConfig, lint_paths
-from repro.analysis.findings import findings_to_json
+from repro.analysis.findings import findings_to_json, findings_to_sarif
 from repro.analysis.rules import rule_table
 
 __all__ = ["main", "configure_parser", "run_from_args"]
@@ -35,12 +41,16 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", type=Path,
         help="files or directories to lint (default: the repro package)",
     )
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text",
                         help="output format (default text)")
     parser.add_argument("--select", action="append", default=[], metavar="RULES",
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--ignore", action="append", default=[], metavar="RULES",
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--baseline", type=Path, metavar="FILE",
+                        help="report only findings beyond this snapshot")
+    parser.add_argument("--write-baseline", type=Path, metavar="FILE",
+                        help="snapshot current findings to FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
 
@@ -72,8 +82,31 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 2
 
     findings = lint_paths(paths, config)
+
+    if args.write_baseline is not None:
+        payload = write_baseline(findings, args.write_baseline)
+        total = sum(payload["counts"].values())
+        print(f"simlint: baseline of {total} finding(s) written to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, baseline)
+        if stale:
+            print("simlint: stale baseline entries (regenerate with "
+                  "--write-baseline to ratchet down):", file=sys.stderr)
+            for key in stale:
+                print(f"  {key}", file=sys.stderr)
+
     if args.format == "json":
         print(json.dumps(findings_to_json(findings), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(findings_to_sarif(findings), indent=2))
     else:
         for finding in findings:
             print(finding.render())

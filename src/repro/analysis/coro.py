@@ -1,0 +1,335 @@
+"""Coroutine-safety rules for the generator-based DES (CORO001–CORO003).
+
+Simulation processes are plain generators: every ``yield`` is a point where
+the engine runs *other* processes, so shared state observed before a yield
+may be stale after it, and anything feeding the event heap or an RNG stream
+must preserve the determinism contract across those interleavings.
+
+====== =====================================================================
+CORO001 snapshot of shared state (``len``/``bool``/``in`` over an
+        attribute) used after a ``yield`` without re-reading it
+CORO002 heap-push of a tuple key with no total-order tiebreaker element
+CORO003 RNG stream escaping its owner (module-global generator, or an
+        rng handed to another object's attribute)
+====== =====================================================================
+
+CORO001/CORO002 are module-scope; CORO003 is project-scope because
+"returns an RNG" must be traced through the call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, _dotted, register
+from repro.analysis.symbols import ProjectContext
+
+__all__ = []
+
+
+def _own_yields(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.AST]:
+    """Yield expressions belonging to ``func`` itself (not nested defs)."""
+    yields: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                yields.append(child)
+            visit(child)
+
+    visit(func)
+    return yields
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _contains_attribute(node: ast.expr) -> bool:
+    return any(isinstance(sub, ast.Attribute) for sub in ast.walk(node))
+
+
+def _is_snapshot(value: ast.expr) -> bool:
+    """``len(X)`` / ``bool(X)`` / ``X in Y`` over shared (attribute) state."""
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+            and value.func.id in ("len", "bool") and len(value.args) == 1:
+        return _contains_attribute(value.args[0])
+    if isinstance(value, ast.Compare) and len(value.ops) == 1 \
+            and isinstance(value.ops[0], (ast.In, ast.NotIn)):
+        return _contains_attribute(value)
+    return False
+
+
+@register
+class StaleSnapshotAcrossYield(Rule):
+    """Flag shared-state snapshots consumed after a yield resumes."""
+
+    id = "CORO001"
+    title = "no stale shared-state snapshot across yield"
+    rationale = (
+        "a yield suspends the process while the engine runs others; a "
+        "len()/bool()/membership snapshot of shared structures taken before "
+        "the yield describes a world that no longer exists when it resumes — "
+        "re-read the structure after the yield"
+    )
+    example_bad = (
+        "def proc(self):\n"
+        "    n = len(self.queue)\n"
+        "    yield self.ev\n"
+        "    self.consume(n)\n"
+    )
+    example_ok = (
+        "def proc(self):\n"
+        "    yield self.ev\n"
+        "    n = len(self.queue)\n"
+        "    self.consume(n)\n"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in _functions(ctx.tree):
+            yields = _own_yields(func)
+            if not yields:
+                continue
+            yield from self._check_generator(ctx, func, yields)
+
+    def _check_generator(self, ctx: ModuleContext,
+                         func: ast.FunctionDef | ast.AsyncFunctionDef,
+                         yields: list[ast.AST]) -> Iterator[Finding]:
+        snapshots: dict[str, ast.stmt] = {}
+        assigns: dict[str, list[int]] = {}
+        uses: dict[str, list[ast.Name]] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                assigns.setdefault(name, []).append(node.lineno)
+                if _is_snapshot(node.value):
+                    snapshots.setdefault(name, node)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                uses.setdefault(node.id, []).append(node)
+
+        yield_lines = sorted(y.lineno for y in yields)
+        loops = [n for n in ast.walk(func)
+                 if isinstance(n, (ast.For, ast.While))
+                 and any(n.lineno <= y <= (n.end_lineno or n.lineno)
+                         for y in yield_lines)]
+
+        for name, snap in snapshots.items():
+            first_yield = next((y for y in yield_lines if y > snap.lineno), None)
+            reported = False
+            if first_yield is not None:
+                for use in uses.get(name, []):
+                    if use.lineno <= first_yield:
+                        continue
+                    reassigned = any(snap.lineno < a <= use.lineno
+                                     for a in assigns[name] if a != snap.lineno)
+                    if not reassigned:
+                        yield self.finding(
+                            ctx, use,
+                            f"`{name}` snapshots shared state before a yield "
+                            f"(line {snap.lineno}) and is used after it; "
+                            "re-read the structure after resuming",
+                        )
+                        reported = True
+                        break
+            if reported:
+                continue
+            # Snapshot taken before a yield-containing loop, consumed inside
+            # it: stale from the second iteration onward.
+            for loop in loops:
+                if snap.lineno >= loop.lineno:
+                    continue
+                in_loop = [u for u in uses.get(name, [])
+                           if loop.lineno <= u.lineno <= (loop.end_lineno or loop.lineno)]
+                reassigned = any(loop.lineno <= a <= (loop.end_lineno or loop.lineno)
+                                 for a in assigns[name])
+                if in_loop and not reassigned:
+                    yield self.finding(
+                        ctx, in_loop[0],
+                        f"`{name}` snapshots shared state outside a loop that "
+                        "yields; by the second iteration the snapshot is stale",
+                    )
+                    break
+
+
+_TIEBREAKERS = frozenset({
+    "seq", "counter", "count", "idx", "index", "serial",
+    "tiebreak", "tie", "order", "version",
+})
+
+
+def _heappush_aliases(ctx: ModuleContext) -> frozenset[str]:
+    """Local names bound to ``heapq.heappush`` (``push = heapq.heappush``)."""
+    aliases = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            dotted = _dotted(node.value) if isinstance(
+                node.value, (ast.Name, ast.Attribute)) else None
+            if dotted is not None and ctx.resolve(dotted) == "heapq.heappush":
+                aliases.add(node.targets[0].id)
+    if ("heapq", "heappush") in ctx.members.values():
+        aliases.update(
+            local for local, target in ctx.members.items()
+            if target == ("heapq", "heappush")
+        )
+    return frozenset(aliases)
+
+
+def _is_tiebreaker(elt: ast.expr) -> bool:
+    name = None
+    if isinstance(elt, ast.Name):
+        name = elt.id
+    elif isinstance(elt, ast.Attribute):
+        name = elt.attr
+    return name is not None and name.lstrip("_") in _TIEBREAKERS
+
+
+@register
+class HeapPushWithoutTiebreaker(Rule):
+    """Flag tuple heap pushes with no total-order tiebreaker element."""
+
+    id = "CORO002"
+    title = "heap keys need a total-order tiebreaker"
+    rationale = (
+        "two heap entries with equal leading keys fall back to comparing "
+        "payload objects — either a TypeError or an id()-dependent, "
+        "run-varying order; every pushed tuple must carry a monotonically "
+        "increasing sequence element"
+    )
+    example_bad = (
+        "import heapq  # simlint: ignore[SIM001] -- fixture\n"
+        "heapq.heappush(q, (t, event))\n"
+    )
+    example_ok = (
+        "import heapq  # simlint: ignore[SIM001] -- fixture\n"
+        "heapq.heappush(q, (t, seq, event))\n"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _heappush_aliases(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            func = node.func
+            dotted = _dotted(func) if isinstance(func, (ast.Name, ast.Attribute)) else None
+            is_push = (dotted is not None and ctx.resolve(dotted) == "heapq.heappush") \
+                or (isinstance(func, ast.Name) and func.id in aliases)
+            if not is_push:
+                continue
+            item = node.args[1]
+            if not isinstance(item, ast.Tuple) or len(item.elts) < 2:
+                continue  # non-tuple keys compare wholesale; nothing to check
+            if not any(_is_tiebreaker(elt) for elt in item.elts):
+                yield self.finding(
+                    ctx, item,
+                    "heap-push tuple has no tiebreaker element (seq/counter/...); "
+                    "equal keys would compare payloads and break total order",
+                )
+
+
+def _is_derive_call(ctx: ModuleContext, node: ast.expr,
+                    derive_returners: frozenset[str] = frozenset()) -> bool:
+    """True for ``derive(...)`` / calls to functions known to return one."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func) if isinstance(
+        node.func, (ast.Name, ast.Attribute)) else None
+    if dotted is None:
+        return False
+    resolved = ctx.resolve(dotted)
+    module, _, member = resolved.rpartition(".")
+    if member == "derive" and module.split(".")[-1] == "rng":
+        return True
+    return (resolved in derive_returners
+            or f"{ctx.module_name}.{resolved}" in derive_returners)
+
+
+def _rng_ish(node: ast.expr) -> bool:
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name is not None and "rng" in name.lower()
+
+
+@register
+class RngEscape(Rule):
+    """Flag RNG streams that escape their owning component."""
+
+    id = "CORO003"
+    title = "rng streams stay with their owner"
+    scope = "project"
+    rationale = (
+        "repro.rng.derive keys one independent stream per (seed, component); "
+        "a module-global generator or an rng handed to another object's "
+        "attribute couples draw order across components, so adding a draw in "
+        "one place silently reshuffles another"
+    )
+    example_bad = (
+        "from repro.rng import derive\n"
+        "SHARED_RNG = derive(0, 'global')\n"
+    )
+    example_ok = (
+        "from repro.rng import derive\n"
+        "def make(seed):\n"
+        "    return derive(seed, 'tenant')\n"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        returners = self._derive_returners(project)
+        for ctx in project.contexts:
+            # P1: module-global stream.
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.Assign) and stmt.value is not None \
+                        and _is_derive_call(ctx, stmt.value, returners):
+                    yield self.finding(
+                        ctx, stmt,
+                        "module-global RNG stream is shared by every component "
+                        "that imports it; derive per-owner streams instead",
+                    )
+            # P2: handing an rng to another object's attribute.
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if "rng" not in target.attr.lower():
+                        continue
+                    base = target.value
+                    base_name = base.id if isinstance(base, ast.Name) else None
+                    if base_name in ("self", "cls"):
+                        continue
+                    if not isinstance(base, ast.Name):
+                        continue  # chained receivers: too aliased to judge
+                    if _rng_ish(node.value) or _is_derive_call(ctx, node.value, returners):
+                        yield self.finding(
+                            ctx, node,
+                            f"rng stream assigned to another object's attribute "
+                            f"`{base_name}.{target.attr}`; pass a freshly derived "
+                            "stream instead of sharing the owner's",
+                        )
+
+    @staticmethod
+    def _derive_returners(project: ProjectContext) -> frozenset[str]:
+        """Functions that (transitively, two rounds) return derive() results."""
+        returners: set[str] = set()
+        for _ in range(2):
+            for qual, info in project.functions.items():
+                if qual in returners:
+                    continue
+                for node in ast.walk(info.node):
+                    if isinstance(node, ast.Return) and node.value is not None \
+                            and _is_derive_call(info.module, node.value,
+                                                frozenset(returners)):
+                        returners.add(qual)
+                        break
+        return frozenset(returners)

@@ -1,0 +1,137 @@
+"""A small forward-dataflow skeleton for simlint's project passes.
+
+:class:`ForwardDataflow` walks one function body in program order carrying
+an environment (``name -> abstract value``; a missing key means *unknown*).
+Subclasses supply the abstract domain by implementing :meth:`eval_expr`
+and, optionally, the binding/return hooks.  Control flow is handled
+conservatively:
+
+* ``if``/``try`` branches are evaluated on copies and joined;
+* loops get a single pass over the body, joined with the pre-state (the
+  domain values used here — dimensions — do not need a fixpoint: one pass
+  either confirms the dimension or degrades it to unknown);
+* anything the subclass cannot evaluate stays unknown, and unknown never
+  produces a finding.
+
+The walker is deliberately flow-*insensitive* about attributes and
+subscripts — only simple names are tracked — which keeps it linear and
+avoids aliasing questions entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+__all__ = ["ForwardDataflow"]
+
+
+class ForwardDataflow:
+    """Forward walk of a function body over a subclass-supplied domain."""
+
+    # -- domain hooks ------------------------------------------------------
+
+    def eval_expr(self, node: ast.expr, env: dict[str, Any]) -> Any:
+        """Abstract value of an expression; ``None`` means unknown."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Join two abstract values; default keeps equal values only."""
+        return a if a == b else None
+
+    def bind_name(self, name: str, value: Any, env: dict[str, Any]) -> None:
+        """Record ``name = value``.  Subclasses may add fallbacks."""
+        if value is None:
+            env.pop(name, None)
+        else:
+            env[name] = value
+
+    def bind_target(self, target: ast.expr, value: Any, env: dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            self.bind_name(target.id, value, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind_target(elt, None, env)
+        # attribute/subscript targets are not tracked
+
+    def on_return(self, node: ast.Return, env: dict[str, Any]) -> None:
+        """Called at each return; default just evaluates the value."""
+        if node.value is not None:
+            self.eval_expr(node.value, env)
+
+    # -- environment algebra ----------------------------------------------
+
+    def join_env(self, a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for key in a.keys() & b.keys():
+            value = self.join(a[key], b[key])
+            if value is not None:
+                out[key] = value
+        return out
+
+    # -- walker ------------------------------------------------------------
+
+    def run(self, body: list[ast.stmt], env: dict[str, Any]) -> dict[str, Any]:
+        for stmt in body:
+            env = self.visit_stmt(stmt, env)
+        return env
+
+    def visit_stmt(self, stmt: ast.stmt, env: dict[str, Any]) -> dict[str, Any]:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env)
+            for target in stmt.targets:
+                self.bind_target(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.bind_target(stmt.target, self.eval_expr(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            # ``x += e`` behaves like ``x = x <op> e`` for the domain.
+            synthetic = ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value)
+            ast.copy_location(synthetic, stmt)
+            ast.fix_missing_locations(synthetic)
+            self.bind_target(stmt.target, self.eval_expr(synthetic, env), env)
+        elif isinstance(stmt, ast.Return):
+            self.on_return(stmt, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            then_env = self.run(stmt.body, dict(env))
+            else_env = self.run(stmt.orelse, dict(env))
+            env = self.join_env(then_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval_expr(stmt.iter, env)
+            self.bind_target(stmt.target, self.iter_value(stmt.iter, env), env)
+            body_env = self.run(stmt.body, dict(env))
+            env = self.join_env(env, body_env)
+            env = self.run(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, env)
+            body_env = self.run(stmt.body, dict(env))
+            env = self.join_env(env, body_env)
+            env = self.run(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.bind_target(item.optional_vars, value, env)
+            env = self.run(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = self.run(stmt.body, dict(env))
+            branch_envs = [body_env]
+            for handler in stmt.handlers:
+                branch_envs.append(self.run(handler.body, dict(env)))
+            merged = branch_envs[0]
+            for other in branch_envs[1:]:
+                merged = self.join_env(merged, other)
+            env = self.run(stmt.finalbody, merged)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested scopes are analyzed separately
+        elif isinstance(stmt, (ast.Assert, ast.Raise, ast.Delete, ast.Global,
+                               ast.Nonlocal, ast.Pass, ast.Break, ast.Continue,
+                               ast.Import, ast.ImportFrom)):
+            pass
+        return env
+
+    def iter_value(self, iterable: ast.expr, env: dict[str, Any]) -> Any:
+        """Abstract value of a loop variable given its iterable; default unknown."""
+        return None

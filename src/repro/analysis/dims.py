@@ -1,0 +1,629 @@
+"""Dimensional-units analysis (rules DIM001–DIM004).
+
+The pass assigns every expression a *dimension* — a mapping from base unit
+to exponent — drawn from the repo's unit conventions (see
+:mod:`repro.units`): ``seconds``, ``bytes``, ``bytes/sec``, ``pages``, and
+``dimensionless``.  Dimensions come from three sources, in priority order:
+
+1. explicit ``# simlint: dim[...]`` annotations on assignment and ``def``
+   lines (``dim[seconds]`` on an assignment; ``dim[return=bytes/sec,
+   nbytes=bytes]`` on a def);
+2. the :data:`registry <_CONST_DIMS>` seeded from ``units.py`` constants and
+   conversion helpers (``PAGE_SIZE`` is bytes, ``usec()`` returns seconds);
+3. naming conventions on variables, parameters, and attribute leaves
+   (``*_time`` is seconds, ``nbytes``/``*_bytes`` is bytes, ``bandwidth`` is
+   bytes/sec, ``npages`` is pages).
+
+A forward dataflow pass propagates dimensions through arithmetic and —
+via per-function return summaries computed to fixpoint — across call
+boundaries.  Flagging is deliberately conservative: a finding requires
+*both* operands to have known, non-dimensionless, *different* dimensions;
+unknown never flags, and dimensionless is compatible with everything
+(scale factors, counts, ratios).  ``pages`` acts as a count inside
+multiplication/division (``npages * PAGE_SIZE`` is bytes) but is a real
+unit in addition and comparison (``npages + nbytes`` flags).
+
+====== =====================================================================
+DIM001 incompatible dimensions in ``+``/``-``
+DIM002 incompatible dimensions in a comparison
+DIM003 return dimension contradicts the declared ``dim[return=...]``
+DIM004 call argument dimension contradicts the parameter's dimension
+====== =====================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.dataflow import ForwardDataflow
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, _dotted, register
+from repro.analysis.symbols import FunctionInfo, ProjectContext
+
+__all__ = [
+    "Dim", "SECONDS", "BYTES", "BYTES_PER_SEC", "PAGES", "DIMENSIONLESS",
+    "parse_dim", "fmt_dim",
+]
+
+# A dimension is a sorted tuple of (base-unit, exponent) pairs; the empty
+# tuple is dimensionless.  ``None`` (outside this type) means unknown.
+Dim = tuple[tuple[str, int], ...]
+
+DIMENSIONLESS: Dim = ()
+SECONDS: Dim = (("s", 1),)
+BYTES: Dim = (("B", 1),)
+BYTES_PER_SEC: Dim = (("B", 1), ("s", -1))
+PAGES: Dim = (("page", 1),)
+
+_NAMED: dict[str, Dim] = {
+    "seconds": SECONDS, "s": SECONDS, "sec": SECONDS, "time": SECONDS,
+    "bytes": BYTES, "b": BYTES,
+    "bytes/sec": BYTES_PER_SEC, "bytes_per_sec": BYTES_PER_SEC,
+    "bandwidth": BYTES_PER_SEC,
+    "pages": PAGES,
+    "dimensionless": DIMENSIONLESS, "count": DIMENSIONLESS,
+    "1": DIMENSIONLESS, "none": DIMENSIONLESS,
+}
+
+_PRETTY = {
+    DIMENSIONLESS: "dimensionless", SECONDS: "seconds", BYTES: "bytes",
+    BYTES_PER_SEC: "bytes/sec", PAGES: "pages",
+}
+
+
+def parse_dim(text: str) -> Dim | None:
+    """Parse an annotation payload like ``seconds`` or ``bytes/sec``."""
+    return _NAMED.get(text.strip().lower())
+
+
+def fmt_dim(dim: Dim) -> str:
+    """Human name of a dimension for findings."""
+    if dim in _PRETTY:
+        return _PRETTY[dim]
+    return "·".join(f"{unit}^{exp}" for unit, exp in dim)
+
+
+def _combine(a: Dim, b: Dim, sign: int) -> Dim:
+    """Product (sign=+1) or quotient (sign=-1) of two dimensions."""
+    units = dict(a)
+    for unit, exp in b:
+        units[unit] = units.get(unit, 0) + sign * exp
+    return tuple(sorted((u, e) for u, e in units.items() if e != 0))
+
+
+def _as_factor(dim: Dim) -> Dim:
+    """Inside ``*``/``/``, pages behaves as a count (npages * PAGE_SIZE)."""
+    return DIMENSIONLESS if dim == PAGES else dim
+
+
+# -- the units.py registry -------------------------------------------------
+
+_UNITS_LEAF = "units"
+
+_CONST_DIMS: dict[str, Dim] = {
+    "KiB": BYTES, "MiB": BYTES, "GiB": BYTES, "TiB": BYTES,
+    "KB": BYTES, "MB": BYTES, "GB": BYTES, "TB": BYTES,
+    "PAGE_SIZE": BYTES, "HUGE_PAGE_SIZE": BYTES,
+    "PAGES_PER_HUGE_PAGE": PAGES,
+}
+
+#: name -> (return dim, ordered (param, dim) pairs).
+_FUNC_DIMS: dict[str, tuple[Dim, tuple[tuple[str, Dim], ...]]] = {
+    "kib": (BYTES, (("n", DIMENSIONLESS),)),
+    "mib": (BYTES, (("n", DIMENSIONLESS),)),
+    "gib": (BYTES, (("n", DIMENSIONLESS),)),
+    "tib": (BYTES, (("n", DIMENSIONLESS),)),
+    "GBps": (BYTES_PER_SEC, (("n", DIMENSIONLESS),)),
+    "MBps": (BYTES_PER_SEC, (("n", DIMENSIONLESS),)),
+    "usec": (SECONDS, (("n", DIMENSIONLESS),)),
+    "msec": (SECONDS, (("n", DIMENSIONLESS),)),
+    "to_pages": (PAGES, (("nbytes", BYTES), ("page_size", BYTES))),
+    "pages_to_bytes": (BYTES, (("npages", PAGES), ("page_size", BYTES))),
+    "fmt_bytes": (DIMENSIONLESS, (("nbytes", BYTES),)),
+    "fmt_bw": (DIMENSIONLESS, (("bytes_per_s", BYTES_PER_SEC),)),
+    "fmt_time": (DIMENSIONLESS, (("seconds", SECONDS),)),
+}
+
+
+def _units_member(resolved: str) -> str | None:
+    """The leaf name if ``resolved`` points into a ``units`` module."""
+    module, _, leaf = resolved.rpartition(".")
+    if module.split(".")[-1] == _UNITS_LEAF:
+        return leaf
+    return None
+
+
+# -- naming conventions ----------------------------------------------------
+
+_EXACT: dict[str, Dim] = {
+    # time
+    "now": SECONDS, "t0": SECONDS, "t1": SECONDS, "deadline": SECONDS,
+    "latency": SECONDS, "delay": SECONDS, "timeout": SECONDS,
+    "duration": SECONDS, "elapsed": SECONDS, "backoff": SECONDS,
+    "stall": SECONDS, "dt": SECONDS, "busy": SECONDS, "seconds": SECONDS,
+    "last_update": SECONDS, "horizon": SECONDS,
+    # sizes
+    "nbytes": BYTES, "granularity": BYTES, "delivered": BYTES,
+    # bandwidth
+    "bandwidth": BYTES_PER_SEC, "bw": BYTES_PER_SEC,
+    "bytes_per_s": BYTES_PER_SEC,
+    # pages
+    "npages": PAGES, "n_pages": PAGES,
+}
+
+_SUFFIXES: tuple[tuple[str, Dim], ...] = (
+    ("_time", SECONDS), ("_seconds", SECONDS), ("_latency", SECONDS),
+    ("_delay", SECONDS), ("_stall", SECONDS), ("_deadline", SECONDS),
+    ("_timeout", SECONDS), ("_duration", SECONDS),
+    ("_bytes", BYTES),
+    ("_bandwidth", BYTES_PER_SEC), ("_bw", BYTES_PER_SEC),
+    ("_pages", PAGES),
+)
+
+_PREFIXES: tuple[tuple[str, Dim], ...] = (
+    ("bytes_", BYTES),
+)
+
+
+def convention_dim(name: str) -> Dim | None:
+    """Dimension implied by a variable/parameter/attribute name, if any."""
+    name = name.lstrip("_")
+    if name in _EXACT:
+        return _EXACT[name]
+    for suffix, dim in _SUFFIXES:
+        if name.endswith(suffix):
+            return dim
+    for prefix, dim in _PREFIXES:
+        if name.startswith(prefix):
+            return dim
+    return None
+
+
+# -- annotation parsing ----------------------------------------------------
+
+def _parse_def_payload(payload: str) -> dict[str, Dim]:
+    """``return=bytes/sec, nbytes=bytes`` -> {"return": ..., "nbytes": ...}."""
+    out: dict[str, Dim] = {}
+    for part in payload.split(","):
+        key, sep, value = part.partition("=")
+        if not sep:
+            continue
+        dim = parse_dim(value)
+        if dim is not None:
+            out[key.strip()] = dim
+    return out
+
+
+# -- the dataflow instantiation -------------------------------------------
+
+_PASSTHROUGH = frozenset({"float", "int", "abs", "round"})
+_MATH_PASSTHROUGH = frozenset({"math.ceil", "math.floor", "math.fabs"})
+_JOINERS = frozenset({"min", "max"})
+
+
+class _DimFlow(ForwardDataflow):
+    """One function (or module top level) walked over the Dim domain."""
+
+    def __init__(self, sweep: "_Sweep", ctx: ModuleContext,
+                 enclosing: FunctionInfo | None) -> None:
+        self.sweep = sweep
+        self.ctx = ctx
+        self.enclosing = enclosing
+        self.dim_lines = ctx.directives("dim")
+        self.declared_return: Dim | None = None
+        self.return_dims: list[Dim] = []
+
+    # -- statement-level annotation override ------------------------------
+
+    def visit_stmt(self, stmt: ast.stmt, env: dict[str, Dim]) -> dict[str, Dim]:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.lineno in self.dim_lines:
+            payload = self.dim_lines[stmt.lineno]
+            if "=" not in payload:
+                annotated = parse_dim(payload)
+                if annotated is not None and getattr(stmt, "value", None) is not None:
+                    self.eval_expr(stmt.value, env)
+                    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    for target in targets:
+                        self.bind_target(target, annotated, env)
+                    return env
+        return super().visit_stmt(stmt, env)
+
+    # -- domain hooks ------------------------------------------------------
+
+    def bind_name(self, name: str, value: Dim | None, env: dict[str, Dim]) -> None:
+        if value is None:
+            value = convention_dim(name)
+        super().bind_name(name, value, env)
+
+    def on_return(self, node: ast.Return, env: dict[str, Dim]) -> None:
+        if node.value is None:
+            return
+        dim = self.eval_expr(node.value, env)
+        if dim is not None:
+            self.return_dims.append(dim)
+            declared = self.declared_return
+            if declared is not None and self._conflict(dim, declared):
+                self.sweep.flag(
+                    "DIM003", self.ctx, node,
+                    f"returning {fmt_dim(dim)} from a function declared "
+                    f"dim[return={fmt_dim(declared)}]",
+                )
+
+    @staticmethod
+    def _conflict(a: Dim | None, b: Dim | None) -> bool:
+        return (a is not None and b is not None
+                and a != DIMENSIONLESS and b != DIMENSIONLESS and a != b)
+
+    # -- expression evaluation --------------------------------------------
+
+    def eval_expr(self, node: ast.expr, env: dict[str, Dim]) -> Dim | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+                return DIMENSIONLESS
+            return None
+        if isinstance(node, ast.Name):
+            return self._name_dim(node.id, env)
+        if isinstance(node, ast.Attribute):
+            if not isinstance(node.value, (ast.Name, ast.Attribute)):
+                self.eval_expr(node.value, env)
+            dotted = _dotted(node)
+            if dotted is not None:
+                resolved = self.ctx.resolve(dotted)
+                leaf = _units_member(resolved)
+                if leaf is not None and leaf in _CONST_DIMS:
+                    return _CONST_DIMS[leaf]
+                module, _, member = resolved.rpartition(".")
+                module_env = self.sweep.module_env(module)
+                if module_env is not None and member in module_env:
+                    return module_env[member]
+            return convention_dim(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval_expr(node.operand, env)
+            return operand if isinstance(node.op, (ast.USub, ast.UAdd)) else None
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval_expr(value, env)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test, env)
+            return self.join(self.eval_expr(node.body, env),
+                             self.eval_expr(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval_expr(child, env)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.eval_expr(node.value, env)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval_expr(node.value, env)
+            self.bind_target(node.target, value, env)
+            return value
+        return None
+
+    def join(self, a: Dim | None, b: Dim | None) -> Dim | None:
+        return a if a == b else None
+
+    def _name_dim(self, name: str, env: dict[str, Dim]) -> Dim | None:
+        if name in env:
+            return env[name]
+        module_env = self.sweep.module_env(self.ctx.module_name)
+        if module_env is not None and env is not module_env and name in module_env:
+            return module_env[name]
+        if name in self.ctx.members:
+            module, member = self.ctx.members[name]
+            if module.split(".")[-1] == _UNITS_LEAF and member in _CONST_DIMS:
+                return _CONST_DIMS[member]
+            other = self.sweep.module_env(module)
+            if other is not None and member in other:
+                return other[member]
+        return convention_dim(name)
+
+    def _binop(self, node: ast.BinOp, env: dict[str, Dim]) -> Dim | None:
+        left = self.eval_expr(node.left, env)
+        right = self.eval_expr(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if self._conflict(left, right):
+                verb = "adding" if isinstance(op, ast.Add) else "subtracting"
+                self.sweep.flag(
+                    "DIM001", self.ctx, node,
+                    f"{verb} {fmt_dim(right)} {'to' if isinstance(op, ast.Add) else 'from'} "
+                    f"{fmt_dim(left)}; these quantities have incompatible dimensions",
+                )
+                return None
+            if left is None or right is None:
+                return None
+            if left == DIMENSIONLESS:
+                return right
+            return left
+        if isinstance(op, (ast.Mult,)):
+            if left is None or right is None:
+                return None
+            return _combine(_as_factor(left), _as_factor(right), +1)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is None or right is None:
+                return None
+            return _combine(_as_factor(left), _as_factor(right), -1)
+        if isinstance(op, ast.Mod):
+            return left
+        if isinstance(op, ast.Pow):
+            if left == DIMENSIONLESS:
+                return DIMENSIONLESS
+            if (left is not None and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)):
+                result = DIMENSIONLESS
+                for _ in range(abs(node.right.value)):
+                    result = _combine(result, left, 1 if node.right.value > 0 else -1)
+                return result
+            return None
+        return None
+
+    def _compare(self, node: ast.Compare, env: dict[str, Dim]) -> Dim:
+        operands = [node.left, *node.comparators]
+        dims = [self.eval_expr(o, env) for o in operands]
+        for op, (lhs, ldim), (rhs, rdim) in zip(
+                node.ops, zip(operands, dims), zip(operands[1:], dims[1:])):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            if self._conflict(ldim, rdim):
+                self.sweep.flag(
+                    "DIM002", self.ctx, node,
+                    f"comparing {fmt_dim(ldim)} with {fmt_dim(rdim)}; these "
+                    "quantities have incompatible dimensions",
+                )
+        return DIMENSIONLESS
+
+    def _call(self, call: ast.Call, env: dict[str, Dim]) -> Dim | None:
+        arg_dims = [self.eval_expr(a, env) for a in call.args]
+        kw_dims = {k.arg: self.eval_expr(k.value, env) for k in call.keywords}
+        func = call.func
+        dotted = _dotted(func) if isinstance(func, (ast.Name, ast.Attribute)) else None
+
+        if dotted is not None:
+            resolved = self.ctx.resolve(dotted)
+            if resolved in _PASSTHROUGH or resolved in _MATH_PASSTHROUGH:
+                return arg_dims[0] if arg_dims else None
+            if resolved in _JOINERS:
+                result = arg_dims[0] if arg_dims else None
+                for dim in arg_dims[1:]:
+                    result = self.join(result, dim)
+                return result
+            leaf = _units_member(resolved)
+            if leaf is not None and leaf in _FUNC_DIMS:
+                return_dim, params = _FUNC_DIMS[leaf]
+                self._check_args(call, arg_dims, kw_dims, dict(params),
+                                 [p for p, _ in params], leaf)
+                return return_dim
+        if not isinstance(func, ast.Attribute) and dotted is None:
+            return None
+
+        info = self.sweep.project.resolve_callee(self.ctx, call, self.enclosing)
+        if info is None:
+            return None
+        param_dims = self.sweep.param_dims(info)
+        self._check_args(call, arg_dims, kw_dims, param_dims, info.params,
+                         info.qualname.rpartition(".")[2])
+        if info.is_generator:
+            return None
+        return self.sweep.summaries.get(info.qualname)
+
+    def _check_args(self, call: ast.Call, arg_dims: list[Dim | None],
+                    kw_dims: dict[str | None, Dim | None],
+                    param_dims: dict[str, Dim], params: list[str],
+                    callee: str) -> None:
+        if any(isinstance(a, ast.Starred) for a in call.args) or None in kw_dims:
+            return  # *args / **kwargs: positional mapping is unknowable
+        for position, dim in enumerate(arg_dims):
+            if position >= len(params):
+                break
+            self._check_one(call, params[position], dim, param_dims, callee)
+        for name, dim in kw_dims.items():
+            if name is not None:
+                self._check_one(call, name, dim, param_dims, callee)
+
+    def _check_one(self, call: ast.Call, param: str, dim: Dim | None,
+                   param_dims: dict[str, Dim], callee: str) -> None:
+        expected = param_dims.get(param)
+        if self._conflict(dim, expected):
+            self.sweep.flag(
+                "DIM004", self.ctx, call,
+                f"argument `{param}` of `{callee}()` expects {fmt_dim(expected)} "
+                f"but this call passes {fmt_dim(dim)}",
+            )
+
+
+class _Sweep:
+    """One project-wide dims run: module envs, summaries, then findings."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.module_envs: dict[str, dict[str, Dim]] = {}
+        self.summaries: dict[str, Dim] = {}
+        self.collecting = False
+        self._raw: list[tuple[str, Finding]] = []
+        self._seen: set[tuple] = set()
+
+    # -- shared lookups ----------------------------------------------------
+
+    def module_env(self, module_name: str) -> dict[str, Dim] | None:
+        return self.module_envs.get(module_name)
+
+    def flag(self, rule_id: str, ctx: ModuleContext, node: ast.AST, message: str) -> None:
+        if not self.collecting:
+            return
+        finding = Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_id,
+            message=message,
+        )
+        key = (rule_id, finding.path, finding.line, finding.col, message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._raw.append((rule_id, finding))
+
+    def declared_dims(self, info: FunctionInfo) -> dict[str, Dim]:
+        """``dim[...]`` payload on the def line (keys: params + "return")."""
+        payload = info.module.directives("dim").get(info.node.lineno)
+        return _parse_def_payload(payload) if payload else {}
+
+    def param_dims(self, info: FunctionInfo) -> dict[str, Dim]:
+        """Parameter dimensions: annotations override name conventions."""
+        declared = self.declared_dims(info)
+        dims: dict[str, Dim] = {}
+        for param in info.params:
+            if param in declared:
+                dims[param] = declared[param]
+            else:
+                dim = convention_dim(param)
+                if dim is not None:
+                    dims[param] = dim
+        return dims
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> list[tuple[str, Finding]]:
+        # Module-level constant environments, twice so cross-module imports
+        # (``from pathmodel import FAULT_COST``) settle.
+        for _ in range(2):
+            for ctx in self.project.contexts:
+                flow = _DimFlow(self, ctx, None)
+                self.module_envs[ctx.module_name] = flow.run(ctx.tree.body, {})
+
+        # Function return summaries: seed from annotations/registry, then
+        # two propagation rounds through call boundaries.
+        for qual, info in self.project.functions.items():
+            declared = self.declared_dims(info).get("return")
+            if declared is not None:
+                self.summaries[qual] = declared
+            leaf = _units_member(qual)
+            if leaf is not None and leaf in _FUNC_DIMS:
+                self.summaries[qual] = _FUNC_DIMS[leaf][0]
+        annotated = frozenset(self.summaries)
+        for _ in range(2):
+            for qual, info in self.project.functions.items():
+                if qual in annotated:
+                    continue
+                flow = self._run_function(info)
+                dims = set(flow.return_dims)
+                if len(dims) == 1:
+                    self.summaries[qual] = next(iter(dims))
+                else:
+                    self.summaries.pop(qual, None)
+
+        # Final pass with findings enabled.
+        self.collecting = True
+        for ctx in self.project.contexts:
+            _DimFlow(self, ctx, None).run(ctx.tree.body, {})
+        for info in self.project.functions.values():
+            self._run_function(info)
+        return self._raw
+
+    def _run_function(self, info: FunctionInfo) -> _DimFlow:
+        flow = _DimFlow(self, info.module, info)
+        flow.declared_return = self.declared_dims(info).get("return")
+        env: dict[str, Dim] = {}
+        for param, dim in self.param_dims(info).items():
+            env[param] = dim
+        flow.run(info.node.body, env)
+        return flow
+
+
+def _dim_findings(project: ProjectContext) -> list[tuple[str, Finding]]:
+    return project.cache("dims", lambda: _Sweep(project).run())  # type: ignore[return-value]
+
+
+class _DimRule(Rule):
+    """Shared plumbing: each DIM rule filters the cached project sweep."""
+
+    scope = "project"
+
+    def exempt(self, ctx: ModuleContext) -> bool:
+        # units.py is where dimensions are *minted* (n * GB returning
+        # bytes/sec is its whole job); the analysis package manipulates
+        # dimension tables as data.
+        return (ctx.parts[-1] == "units.py" and "repro" in ctx.parts) \
+            or "analysis" in ctx.parts
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for rule_id, finding in _dim_findings(project):
+            if rule_id == self.id:
+                yield finding
+
+
+@register
+class IncompatibleAddition(_DimRule):
+    """Flag ``+``/``-`` between quantities of different dimensions."""
+
+    id = "DIM001"
+    title = "no adding seconds to bytes"
+    rationale = (
+        "an add/subtract whose operands carry different dimensions (seconds "
+        "vs bytes vs pages) is a unit bug by construction — exactly how a "
+        "path-model stall term silently absorbs a byte count"
+    )
+    example_bad = "def f(fault_time, nbytes):\n    return fault_time + nbytes\n"
+    example_ok = "def f(fault_time, delay):\n    return fault_time + delay\n"
+
+
+@register
+class IncompatibleComparison(_DimRule):
+    """Flag comparisons between quantities of different dimensions."""
+
+    id = "DIM002"
+    title = "no comparing seconds with bytes"
+    rationale = (
+        "an ordering or equality test between different dimensions always "
+        "has a fixed, meaningless outcome at runtime; it usually means the "
+        "wrong variable reached a threshold check"
+    )
+    example_bad = "def f(deadline, nbytes):\n    return deadline < nbytes\n"
+    example_ok = "def f(deadline, t0):\n    return deadline < t0\n"
+
+
+@register
+class WrongReturnDimension(_DimRule):
+    """Flag returns whose dimension contradicts the declared one."""
+
+    id = "DIM003"
+    title = "return dimension matches the declaration"
+    rationale = (
+        "a `# simlint: dim[return=...]` declaration is the function's unit "
+        "contract; returning a different dimension breaks every caller that "
+        "trusted it"
+    )
+    example_bad = "def f(nbytes):  # simlint: dim[return=seconds]\n    return nbytes\n"
+    example_ok = "def f(delay):  # simlint: dim[return=seconds]\n    return delay\n"
+
+
+@register
+class WrongArgumentDimension(_DimRule):
+    """Flag call arguments whose dimension contradicts the parameter's."""
+
+    id = "DIM004"
+    title = "call arguments match parameter dimensions"
+    rationale = (
+        "parameter names and `dim[...]` annotations declare what a function "
+        "consumes; passing seconds where bytes are expected corrupts every "
+        "quantity computed downstream"
+    )
+    example_bad = (
+        "def sink(nbytes):\n    return nbytes\n"
+        "def f(delay):\n    return sink(delay)\n"
+    )
+    example_ok = (
+        "def sink(nbytes):\n    return nbytes\n"
+        "def f(size_bytes):\n    return sink(size_bytes)\n"
+    )

@@ -5,26 +5,36 @@ Suppression syntax (per line, ruff-style)::
     x = heapq.heappop(q)  # simlint: ignore[SIM001] -- slot free-list, not the event heap
     y = something()       # simlint: ignore        -- silences every rule on the line
 
-A suppression applies to findings *reported on that physical line*.  The
-text after ``--`` is the required human-readable justification; the linter
-does not parse it, reviewers do.
+A suppression applies to findings *reported on that physical line*, plus —
+for statements wrapped across lines — findings reported on the statement's
+continuation lines when the suppression sits on its first physical line.
+The text after ``--`` is the required human-readable justification; the
+linter does not parse it, reviewers do.
+
+The driver runs two passes over the lint set:
+
+1. **module pass** — every module-scope rule over each file independently;
+2. **project pass** — the whole set is assembled into a
+   :class:`~repro.analysis.symbols.ProjectContext` (symbol table, call
+   graph, dataflow summaries) and every project-scope rule runs once over
+   it.  Project findings are filtered through the owning file's
+   suppressions exactly like module findings.
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import RULES, ModuleContext
 
-__all__ = ["LintConfig", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
-
-#: ``# simlint: ignore`` or ``# simlint: ignore[DET001, UNIT001]``
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+__all__ = [
+    "LintConfig", "lint_source", "lint_sources", "lint_file", "lint_paths",
+    "iter_python_files",
+]
 
 #: Rule id for files the parser rejects (always reported, not selectable).
 SYNTAX_RULE = "E999"
@@ -47,41 +57,59 @@ class LintConfig:
         return sorted(mentioned - set(RULES))
 
 
-def _suppressions(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
-    """line number -> suppressed rule ids (None = all rules)."""
-    out: dict[int, frozenset[str] | None] = {}
-    for i, line in enumerate(lines, start=1):
-        m = _SUPPRESS_RE.search(line)
-        if m is None:
+def _keep(ctx: ModuleContext, finding: Finding) -> bool:
+    """Whether ``finding`` survives the file's suppression comments."""
+    allow = ctx.suppression_at(finding.line)
+    return allow is not None and finding.rule not in allow
+
+
+def lint_sources(files: Mapping[str, str],
+                 config: LintConfig | None = None) -> list[Finding]:
+    """Lint a set of ``{path: source}`` files as one project.
+
+    This is the core entry point: module-scope rules run per file,
+    project-scope rules run once over the assembled
+    :class:`~repro.analysis.symbols.ProjectContext`.
+    """
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    contexts: dict[str, ModuleContext] = {}
+    for path, source in files.items():
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                rule=SYNTAX_RULE, message=f"syntax error: {exc.msg}"))
             continue
-        if m.group(1) is None:
-            out[i] = None
-        else:
-            out[i] = frozenset(r.strip().upper() for r in m.group(1).split(",") if r.strip())
-    return out
+        contexts[path] = ModuleContext(path, source, tree)
+
+    active = config.active_rules()
+    module_rules = [RULES[r] for r in active if RULES[r].scope == "module"]
+    project_rules = [RULES[r] for r in active if RULES[r].scope == "project"]
+
+    for ctx in contexts.values():
+        for rule in module_rules:
+            if rule.exempt(ctx):
+                continue
+            findings.extend(f for f in rule.check(ctx) if _keep(ctx, f))
+
+    if project_rules and contexts:
+        from repro.analysis.symbols import ProjectContext
+
+        project = ProjectContext(list(contexts.values()))
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                ctx = contexts.get(finding.path)
+                if ctx is None or (not rule.exempt(ctx) and _keep(ctx, finding)):
+                    findings.append(finding)
+
+    return sorted(findings)
 
 
 def lint_source(path: str, source: str, config: LintConfig | None = None) -> list[Finding]:
     """Lint one source string; ``path`` is used for display and exemptions."""
-    config = config or LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-                        rule=SYNTAX_RULE, message=f"syntax error: {exc.msg}")]
-    ctx = ModuleContext(path, source, tree)
-    suppressed = _suppressions(ctx.lines)
-    findings: list[Finding] = []
-    for rule_id in config.active_rules():
-        rule = RULES[rule_id]
-        if rule.exempt(ctx):
-            continue
-        for finding in rule.check(ctx):
-            allow = suppressed.get(finding.line, frozenset())
-            if allow is None or finding.rule in allow:
-                continue
-            findings.append(finding)
-    return sorted(findings)
+    return lint_sources({path: source}, config)
 
 
 def lint_file(path: Path, display: str | None = None,
@@ -105,8 +133,8 @@ def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
 
 
 def lint_paths(paths: Iterable[Path], config: LintConfig | None = None) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directory trees)."""
-    findings: list[Finding] = []
+    """Lint every ``.py`` file under ``paths`` as one project."""
+    files: dict[str, str] = {}
     for file in iter_python_files(paths):
-        findings.extend(lint_file(file, config=config))
-    return findings
+        files[str(file)] = file.read_text(encoding="utf-8")
+    return lint_sources(files, config)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-__all__ = ["Finding", "findings_to_json"]
+__all__ = ["Finding", "findings_to_json", "findings_to_sarif"]
 
 
 @dataclass(frozen=True, order=True)
@@ -31,3 +31,65 @@ class Finding:
 def findings_to_json(findings: list[Finding]) -> list[dict]:
     """JSON-serializable form: a list of plain dicts, one per finding."""
     return [asdict(f) for f in findings]
+
+
+def findings_to_sarif(findings: list[Finding]) -> dict:
+    """SARIF 2.1.0 log for CI annotation upload (``--format sarif``).
+
+    One run, tool ``simlint``; every registered rule is listed in the
+    driver's rule table so viewers can show titles/rationales, and each
+    finding becomes one result with a physical location.
+    """
+    from repro.analysis.rules import RULES  # local import: rules imports us
+
+    levels = {"error": "error", "warning": "warning"}
+    rules_meta = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": levels.get(rule.severity, "error")},
+        }
+        for rule in RULES.values()
+    ]
+    rules_meta.append({
+        "id": "E999",
+        "shortDescription": {"text": "file does not parse"},
+        "fullDescription": {"text": "the Python parser rejected this file"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+
+    results = []
+    for finding in findings:
+        rule = RULES.get(finding.rule)
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": levels.get(rule.severity, "error") if rule else "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": "https://example.invalid/simlint",
+                    "rules": rules_meta,
+                },
+            },
+            "results": results,
+        }],
+    }

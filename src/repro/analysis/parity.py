@@ -1,0 +1,233 @@
+"""Engine-parity analyzer (PAR001).
+
+The repo's headline contract is that the batched/fluid replay engines are
+*bit-identical* to the event-driven reference: every counter the event
+engine touches, the batch engine must touch too, and vice versa.  This pass
+turns that contract into a static check by diffing the **counter mutation
+surface** of each engine:
+
+* **group "result"** — the :class:`SwapExecutionResult` surface.  The event
+  engine is everything reachable from ``SwapExecutor._run_proc``; the batch
+  engine everything reachable from ``replay_run``/``replay_run_multi``.  A
+  mutation is any ``res.X += / -= / =`` or ``res.X.add(...)`` /
+  ``res.X.add_repeat(...)`` whose receiver chain ends in ``res`` or
+  ``result`` (so LRU-internal stats like ``lru.hits`` don't count).
+* **group "device"** — :class:`FaultyDevice`'s ``self.*`` counters
+  (attributes initialised to numeric constants in ``__init__``), diffed
+  between the per-access ``_io`` path and the batched ``_io_batch`` path.
+
+A field mutated by one engine but not its peer is a finding anchored at the
+peer's entry-point ``def`` line.  Fields that *legitimately* exist on one
+side only are listed in :data:`_EVENT_ONLY` with the reason (fault plans
+force the event engine, so retry/stall/failover counters have no batch
+mirror).  The pass is a no-op when a group's anchor functions are not all
+in the lint set, so linting a single file never produces phantom parity
+findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, _dotted, register
+from repro.analysis.symbols import FunctionInfo, ProjectContext
+
+__all__ = []
+
+#: Result fields with no batch mirror, and why.  Fault-plan runs force the
+#: event engine (`REPRO_REPLAY=batch` falls back when faults are active), so
+#: retry/stall/failover accounting exists only there by design.
+_EVENT_ONLY: dict[str, str] = {
+    "transient_retries": "fault plans force the event engine",
+    "stall_time": "fault plans force the event engine",
+    "failovers": "fault plans force the event engine",
+}
+
+_RESULT_RECEIVERS = frozenset({"res", "result"})
+_STAT_METHODS = frozenset({"add", "add_repeat"})
+
+
+def _receiver_parts(node: ast.expr) -> list[str] | None:
+    dotted = _dotted(node)
+    return dotted.split(".") if dotted is not None else None
+
+
+def _result_mutations(info: FunctionInfo) -> set[str]:
+    """SwapExecutionResult fields this function mutates."""
+    fields: set[str] = set()
+    for node in ast.walk(info.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _STAT_METHODS:
+            parts = _receiver_parts(node.func)
+            # e.g. res.fault_latency.add_repeat -> field fault_latency
+            if parts is not None and len(parts) >= 3 and parts[-3] in _RESULT_RECEIVERS:
+                fields.add(parts[-2])
+            continue
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                parts = _receiver_parts(target.value)
+                if parts is not None and parts[-1] in _RESULT_RECEIVERS:
+                    fields.add(target.attr)
+    return fields
+
+
+def _self_mutations(info: FunctionInfo, counters: frozenset[str]) -> set[str]:
+    """``self.<counter>`` mutations in this function."""
+    fields: set[str] = set()
+    for node in ast.walk(info.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr in counters \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                fields.add(target.attr)
+    return fields
+
+
+def _find_entries(project: ProjectContext, suffix: str) -> list[FunctionInfo]:
+    return [info for qual, info in project.functions.items()
+            if qual.endswith("." + suffix)]
+
+
+def _numeric_init_attrs(project: ProjectContext, init: FunctionInfo) -> frozenset[str]:
+    """``self.x = <numeric constant>`` attributes in an ``__init__``."""
+    attrs: set[str] = set()
+    for node in ast.walk(init.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, (int, float)) \
+                and not isinstance(node.value.value, bool):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+@register
+class EngineParity(Rule):
+    """Diff the counter mutation surface of the event/batch engines."""
+
+    id = "PAR001"
+    title = "engines mutate the same counter surface"
+    scope = "project"
+    rationale = (
+        "the batch/fluid replay engines are contractually bit-identical to "
+        "the event DES; a counter incremented, renamed, or zeroed in one "
+        "engine but not the others drifts the SwapExecutionResult surface "
+        "and invalidates every cross-engine comparison"
+    )
+    example_bad = {
+        "swap/executor.py": (
+            "class SwapExecutor:\n"
+            "    def _run_proc(self):\n"
+            "        res = self.result\n"
+            "        res.hits += 1\n"
+            "        res.faults += 1\n"
+        ),
+        "swap/replay.py": (
+            "def replay_run(ex):\n"
+            "    res = ex.result\n"
+            "    res.hits += 1\n"
+        ),
+    }
+    example_ok = {
+        "swap/executor.py": (
+            "class SwapExecutor:\n"
+            "    def _run_proc(self):\n"
+            "        res = self.result\n"
+            "        res.hits += 1\n"
+            "        res.faults += 1\n"
+        ),
+        "swap/replay.py": (
+            "def replay_run(ex):\n"
+            "    res = ex.result\n"
+            "    res.hits += 1\n"
+            "    res.faults += 1\n"
+        ),
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        yield from self._result_group(project)
+        yield from self._device_group(project)
+
+    # -- group "result": SwapExecutionResult across event/batch engines ----
+
+    def _result_group(self, project: ProjectContext) -> Iterator[Finding]:
+        event_entries = _find_entries(project, "SwapExecutor._run_proc")
+        batch_entries = (_find_entries(project, "replay_run")
+                         + _find_entries(project, "replay_run_multi"))
+        if not event_entries or not batch_entries:
+            return  # one engine absent from the lint set: nothing to diff
+
+        event = self._surface(project, event_entries, _result_mutations)
+        batch = self._surface(project, batch_entries, _result_mutations)
+
+        for field in sorted(event - batch):
+            if field in _EVENT_ONLY:
+                continue
+            yield self._missing(batch_entries[0], field, "event", "batch")
+        for field in sorted(batch - event):
+            yield self._missing(event_entries[0], field, "batch", "event")
+
+    # -- group "device": FaultyDevice counters across _io/_io_batch --------
+
+    def _device_group(self, project: ProjectContext) -> Iterator[Finding]:
+        io_entries = [i for i in _find_entries(project, "_io") if i.cls is not None]
+        batch_entries = [i for i in _find_entries(project, "_io_batch") if i.cls is not None]
+        for io in io_entries:
+            peer = next((b for b in batch_entries
+                         if b.cls == io.cls and b.module is io.module), None)
+            if peer is None:
+                continue
+            init = project.functions.get(
+                f"{io.module.module_name}.{io.cls}.__init__")
+            if init is None:
+                continue
+            counters = _numeric_init_attrs(project, init)
+            if not counters:
+                continue
+            per_access = self._surface(
+                project, [io], lambda f: _self_mutations(f, counters))
+            batched = self._surface(
+                project, [peer], lambda f: _self_mutations(f, counters))
+            for field in sorted(per_access - batched):
+                yield self._missing(peer, field, "per-access", "batched")
+            for field in sorted(batched - per_access):
+                yield self._missing(io, field, "batched", "per-access")
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _surface(project: ProjectContext, entries: list[FunctionInfo],
+                 collect) -> set[str]:
+        reached = project.reachable([e.qualname for e in entries])
+        fields: set[str] = set()
+        for qual in reached:
+            fields |= collect(project.functions[qual])
+        return fields
+
+    def _missing(self, entry: FunctionInfo, field: str,
+                 present: str, absent: str) -> Finding:
+        return Finding(
+            path=entry.module.path,
+            line=entry.node.lineno,
+            col=entry.node.col_offset,
+            rule=self.id,
+            message=(
+                f"counter `{field}` is mutated by the {present} engine but "
+                f"not the {absent} engine (`{entry.name}` and callees); the "
+                "engines' counter surfaces must stay bit-identical"
+            ),
+        )

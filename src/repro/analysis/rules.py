@@ -13,23 +13,47 @@ SIM001 no ``heapq`` use outside the engine's event heap
 SIM002 no reaching into engine internals (``_heap``/``_schedule``) from outside
 PY001  no mutable default arguments
 PY002  public modules declare ``__all__``
+FLT001 fault plans with windows must be seeded
 ====== =====================================================================
 
-Rules are single-file checks: each receives a parsed
+This module holds the *module-scope* rules: each receives one parsed
 :class:`ModuleContext` and yields :class:`~repro.analysis.findings.Finding`
-objects.  Cross-file analysis is intentionally out of scope — the linter
-stays O(files) and embarrassingly parallel.
+objects, so they stay O(files) and embarrassingly parallel.  *Project-scope*
+rules (``scope = "project"``) receive the whole-lint-set
+:class:`~repro.analysis.symbols.ProjectContext` instead; they live in
+:mod:`repro.analysis.dims` (dimensional analysis, DIM001–DIM004),
+:mod:`repro.analysis.coro` (coroutine safety, CORO001–CORO003), and
+:mod:`repro.analysis.parity` (engine parity, PAR001) and register into the
+same :data:`RULES` table.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from collections.abc import Iterator
 from pathlib import PurePath
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding
 
-__all__ = ["ModuleContext", "Rule", "RULES", "rule_table"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.symbols import ProjectContext
+
+__all__ = ["ModuleContext", "Rule", "RULES", "rule_table", "register"]
+
+#: ``# simlint: ignore`` or ``# simlint: ignore[DET001, UNIT001]``
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: Generic bracketed directive, e.g. ``# simlint: dim[seconds]``.
+_DIRECTIVE_RE = re.compile(r"#\s*simlint:\s*([a-z]\w*)\[([^\]]*)\]")
+
+#: Compound statements whose *body* must not inherit a header suppression
+#: (a ``# simlint: ignore`` on ``if x:`` must not silence the whole block).
+_COMPOUND_STMTS = (
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Try,
+)
 
 
 class ModuleContext:
@@ -44,12 +68,109 @@ class ModuleContext:
         self.modules: dict[str, str] = {}
         # local name -> (module, member), from ``from X import y as z``
         self.members: dict[str, tuple[str, str]] = {}
+        self._suppressions: dict[int, frozenset[str] | None] | None = None
+        self._stmt_starts: dict[int, int] | None = None
+        self._directives: dict[str, dict[int, str]] | None = None
         self._scan_imports()
 
     @property
     def parts(self) -> tuple[str, ...]:
         """Path components, used for per-location exemptions."""
         return PurePath(self.path).parts
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from the path.
+
+        ``src/repro/swap/executor.py`` -> ``repro.swap.executor``; paths with
+        no ``repro`` component keep everything, so fixtures like
+        ``pkg/mod.py`` key as ``pkg.mod``.  The project symbol table uses
+        this to resolve cross-module references.
+        """
+        parts = list(self.parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts.pop()
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+
+    # -- suppressions & directives ----------------------------------------
+
+    @property
+    def suppressions(self) -> dict[int, frozenset[str] | None]:
+        """line number -> suppressed rule ids (``None`` = every rule)."""
+        if self._suppressions is None:
+            table: dict[int, frozenset[str] | None] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _SUPPRESS_RE.search(line)
+                if match is None:
+                    continue
+                if match.group(1) is None:
+                    table[lineno] = None
+                else:
+                    table[lineno] = frozenset(
+                        r.strip().upper()
+                        for r in match.group(1).split(",") if r.strip()
+                    )
+            self._suppressions = table
+        return self._suppressions
+
+    @property
+    def stmt_starts(self) -> dict[int, int]:
+        """continuation line -> first physical line of its statement.
+
+        Simple statements that wrap across lines map every continuation line
+        back to the line the statement starts on, so a suppression written on
+        the first physical line covers findings reported on continuations.
+        Compound statements map only their *header* expression (the ``if``
+        test, the ``for`` iterable) — a header suppression must not silence
+        the whole block.
+        """
+        if self._stmt_starts is None:
+            table: dict[int, int] = {}
+
+            def span(first: int, last: int | None) -> None:
+                if last is not None:
+                    for lineno in range(first + 1, last + 1):
+                        table.setdefault(lineno, first)
+
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                if isinstance(node, _COMPOUND_STMTS):
+                    header = getattr(node, "test", None) or getattr(node, "iter", None)
+                    if header is not None:
+                        span(node.lineno, getattr(header, "end_lineno", None))
+                    continue
+                span(node.lineno, getattr(node, "end_lineno", None))
+            self._stmt_starts = table
+        return self._stmt_starts
+
+    def suppression_at(self, line: int) -> frozenset[str] | None:
+        """Effective suppression for a finding reported on ``line``.
+
+        Merges the suppression on the physical line with one on the first
+        line of the enclosing wrapped statement, if any.  ``None`` means
+        every rule is suppressed.
+        """
+        own = self.suppressions.get(line, frozenset())
+        start = self.stmt_starts.get(line)
+        inherited = self.suppressions.get(start, frozenset()) if start else frozenset()
+        if own is None or inherited is None:
+            return None
+        return own | inherited
+
+    def directives(self, keyword: str) -> dict[int, str]:
+        """Per-line payloads of ``# simlint: <keyword>[payload]`` comments."""
+        if self._directives is None:
+            table: dict[str, dict[int, str]] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                for match in _DIRECTIVE_RE.finditer(line):
+                    table.setdefault(match.group(1), {})[lineno] = match.group(2)
+            self._directives = table
+        return self._directives.get(keyword, {})
 
     def _scan_imports(self) -> None:
         for node in ast.walk(self.tree):
@@ -93,17 +214,34 @@ def _dotted(node: ast.expr) -> str | None:
 
 
 class Rule:
-    """Base class: subclasses set the metadata and implement :meth:`check`."""
+    """Base class: subclasses set the metadata and implement :meth:`check`.
+
+    Module-scope rules (the default) implement :meth:`check` and see one
+    file at a time.  Project-scope rules set ``scope = "project"`` and
+    implement :meth:`check_project`, receiving the whole lint set as a
+    :class:`~repro.analysis.symbols.ProjectContext`.
+
+    ``example_bad`` / ``example_ok`` are executable documentation: a source
+    snippet (or ``{path: source}`` mapping for project rules) that must
+    trigger / pass the rule.  The catalog property tests lint them.
+    """
 
     id: str = ""
     title: str = ""
     rationale: str = ""
+    severity: str = "error"
+    scope: str = "module"
+    example_bad: str | dict[str, str] = ""
+    example_ok: str | dict[str, str] = ""
 
     def exempt(self, ctx: ModuleContext) -> bool:
         """Whole-file exemption (e.g. the module a constant is defined in)."""
         return False
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
@@ -119,9 +257,13 @@ class Rule:
 RULES: dict[str, Rule] = {}
 
 
-def _register(cls: type[Rule]) -> type[Rule]:
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
     RULES[cls.id] = cls()
     return cls
+
+
+_register = register  # backwards-compatible alias for in-module use
 
 
 def _imports_module(ctx: ModuleContext, target: str) -> Iterator[ast.stmt]:
@@ -137,6 +279,8 @@ def _imports_module(ctx: ModuleContext, target: str) -> Iterator[ast.stmt]:
 
 @_register
 class UnseededRandomness(Rule):
+    """Flag stdlib ``random`` imports and direct ``numpy.random`` calls."""
+
     id = "DET001"
     title = "no unseeded randomness"
     rationale = (
@@ -144,6 +288,8 @@ class UnseededRandomness(Rule):
         "stdlib random and module-level numpy.random calls break run-to-run "
         "reproducibility and stream independence"
     )
+    example_bad = "import random\n"
+    example_ok = "from repro.rng import derive\nrng = derive(0, 'k')\nx = rng.integers(5)\n"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in _imports_module(ctx, "random"):
@@ -177,12 +323,16 @@ _WALL_CLOCK = frozenset({
 
 @_register
 class WallClock(Rule):
+    """Flag ``time.time()``-family calls in simulation code."""
+
     id = "DET002"
     title = "no wall-clock reads"
     rationale = (
         "simulation results must depend only on the simulated clock (Simulator.now); "
         "wall-clock reads make runs machine- and load-dependent"
     )
+    example_bad = "import time\nt = time.time()\n"
+    example_ok = "t = sim.now\n"
 
     def exempt(self, ctx: ModuleContext) -> bool:
         return "benchmarks" in ctx.parts
@@ -205,12 +355,16 @@ _ENTROPY = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
 
 @_register
 class EntropySource(Rule):
+    """Flag OS entropy sources (``os.urandom``, ``uuid4``, ``secrets``)."""
+
     id = "DET003"
     title = "no OS entropy sources"
     rationale = (
         "os.urandom / uuid4 / secrets produce fresh entropy per run, which can "
         "never be replayed; identifiers must be derived from seeds or counters"
     )
+    example_bad = "import os\nx = os.urandom(8)\n"
+    example_ok = "ident = f'run-{seed}-{counter}'\n"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in _imports_module(ctx, "secrets"):
@@ -241,12 +395,16 @@ _SIZE_LITERALS = frozenset({
 
 @_register
 class RawSizeLiteral(Rule):
+    """Flag hand-spelled byte-size literals like ``4096`` or ``1 << 30``."""
+
     id = "UNIT001"
     title = "no raw byte-size literals"
     rationale = (
         "hand-spelled sizes are where the 7% GiB-vs-GB skew leaks in; "
         "spell sizes with units.py constants (PAGE_SIZE, KiB, MiB, GiB, ...)"
     )
+    example_bad = "x = 4096\n"
+    example_ok = "from repro.units import PAGE_SIZE\nx = PAGE_SIZE\n"
 
     def exempt(self, ctx: ModuleContext) -> bool:
         # units.py is the one place the literals must exist; the analysis
@@ -303,12 +461,16 @@ def _time_like(node: ast.expr) -> str | None:
 
 @_register
 class FloatTimeEquality(Rule):
+    """Flag ``==``/``!=`` comparisons on simulated-time floats."""
+
     id = "UNIT002"
     title = "no float == on simulated time"
     rationale = (
         "the clock is float64; exact equality on accumulated times is "
         "representation-dependent — compare with <=/>= or an epsilon"
     )
+    example_bad = "ok = sim.now == 0.0\n"
+    example_ok = "later = sim.now >= deadline\n"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -329,12 +491,16 @@ class FloatTimeEquality(Rule):
 
 @_register
 class HeapOutsideEngine(Rule):
+    """Flag ``heapq`` imports anywhere but ``simcore/engine.py``."""
+
     id = "SIM001"
     title = "no heapq outside the engine"
     rationale = (
         "bit-stable event ordering is owned by simcore/engine.py's (time, seq) "
         "heap; other priority queues risk re-implementing ordering subtly wrong"
     )
+    example_bad = "import heapq\n"
+    example_ok = "from collections import deque\n"
 
     def exempt(self, ctx: ModuleContext) -> bool:
         return ctx.parts[-2:] == ("simcore", "engine.py")
@@ -353,12 +519,16 @@ _ENGINE_INTERNALS = frozenset({"_heap", "_schedule", "_seq"})
 
 @_register
 class EngineInternals(Rule):
+    """Flag access to private engine attributes from outside ``simcore``."""
+
     id = "SIM002"
     title = "no reaching into engine internals"
     rationale = (
         "the event heap and scheduling counter are private to the engine; "
         "external mutation breaks the determinism contract silently"
     )
+    example_bad = "sim._heap.append(x)\n"
+    example_ok = "t = sim.now\n"
 
     def exempt(self, ctx: ModuleContext) -> bool:
         return "simcore" in ctx.parts
@@ -378,12 +548,16 @@ _MUTABLE_CTORS = frozenset({"list", "dict", "set", "deque", "defaultdict", "Orde
 
 @_register
 class MutableDefault(Rule):
+    """Flag mutable default argument values (lists, dicts, sets, ...)."""
+
     id = "PY001"
     title = "no mutable default arguments"
     rationale = (
         "a mutable default is shared across calls — state leaks between "
         "supposedly independent simulations; default to None and build inside"
     )
+    example_bad = "def f(x=[]):\n    pass\n"
+    example_ok = "def f(x=None):\n    pass\n"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -410,12 +584,17 @@ class MutableDefault(Rule):
 
 @_register
 class MissingDunderAll(Rule):
+    """Flag public modules that never assign ``__all__``."""
+
     id = "PY002"
     title = "public modules declare __all__"
     rationale = (
         "__all__ is the public-API contract reviewers and star-imports rely on; "
         "modules without one grow accidental API surface"
     )
+    severity = "warning"
+    example_bad = "x = 1\n"
+    example_ok = "__all__ = ['x']\nx = 1\n"
 
     def exempt(self, ctx: ModuleContext) -> bool:
         # _private.py and __main__.py are not API surface; __init__.py is.
@@ -445,6 +624,8 @@ _FAULT_PLAN_NAMES = frozenset({
 
 @_register
 class UnseededFaultPlan(Rule):
+    """Flag ``FaultPlan(windows)`` constructions without a ``seed=``."""
+
     id = "FLT001"
     title = "fault plans with windows must be seeded"
     rationale = (
@@ -452,6 +633,8 @@ class UnseededFaultPlan(Rule):
         "(repro.rng.derive keys the plan's stream); an unseeded FaultPlan makes "
         "failover runs unreproducible"
     )
+    example_bad = "from repro.faults import FaultPlan\np = FaultPlan([w])\n"
+    example_ok = "from repro.faults import FaultPlan\np = FaultPlan([w], seed=7)\n"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

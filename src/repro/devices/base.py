@@ -116,14 +116,14 @@ class FarMemoryDevice:
     # ------------------------------------------------------------------
     # Analytic interface
     # ------------------------------------------------------------------
-    def _op_cost(self, write: bool, granularity: int) -> float:
+    def _op_cost(self, write: bool, granularity: int) -> float:  # simlint: dim[return=seconds]
         """Per-operation cost at a given granularity; subclasses may bend this."""
         return self.profile.write_op_cost if write else self.profile.read_op_cost
 
-    def _media_bw(self, write: bool) -> float:
+    def _media_bw(self, write: bool) -> float:  # simlint: dim[return=bytes/sec]
         return self.profile.write_bandwidth if write else self.profile.read_bandwidth
 
-    def effective_bandwidth(self, write: bool = False, io_width: int | None = None) -> float:
+    def effective_bandwidth(self, write: bool = False, io_width: int | None = None) -> float:  # simlint: dim[return=bytes/sec]
         """Deliverable bytes/second given ``io_width`` channels and the PCIe slot."""
         width = self._clamp_width(io_width)
         media = self._media_bw(write) * min(
@@ -140,7 +140,7 @@ class FarMemoryDevice:
             raise ConfigurationError(f"io_width must be >= 1, got {io_width}")
         return min(io_width, self.profile.channels)
 
-    def transfer_latency(
+    def transfer_latency(  # simlint: dim[return=seconds, nbytes=bytes, granularity=bytes]
         self,
         nbytes: int,
         write: bool = False,
@@ -172,11 +172,11 @@ class FarMemoryDevice:
             stream = max(stream, moved / self.link.bandwidth)
         return self.profile.setup_cost + stream
 
-    def page_latency(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:
+    def page_latency(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:  # simlint: dim[return=seconds]
         """Service time for one page-sized (= one-granule) operation."""
         return self.transfer_latency(granularity, write=write, granularity=granularity, io_width=1)
 
-    def op_occupancy(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:
+    def op_occupancy(self, write: bool = False, granularity: int = PAGE_SIZE) -> float:  # simlint: dim[return=seconds]
         """Channel hold time of one pipelined op (throughput-side cost).
 
         Distinct from :meth:`page_latency` (the response time a blocked
@@ -188,7 +188,7 @@ class FarMemoryDevice:
             + granularity / self._media_bw(write)
         )
 
-    def batch_command_cost(self, count: int, write: bool, granularity: int) -> float:
+    def batch_command_cost(self, count: int, write: bool, granularity: int) -> float:  # simlint: dim[return=seconds]
         """Serial command-phase seconds of ``count`` batched one-granule ops.
 
         Each batched op pays the full single-op serial cost, setup included

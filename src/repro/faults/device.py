@@ -75,12 +75,12 @@ class FaultyDevice(FarMemoryDevice):
         self.degradation_stall = 0.0
 
     # -- degraded analytic surface -----------------------------------------
-    def _op_cost(self, write: bool, granularity: int) -> float:
+    def _op_cost(self, write: bool, granularity: int) -> float:  # simlint: dim[return=seconds]
         return self.inner._op_cost(write, granularity) * self.fault_plan.latency_factor(
             self.sim.now
         )
 
-    def _media_bw(self, write: bool) -> float:
+    def _media_bw(self, write: bool) -> float:  # simlint: dim[return=bytes/sec]
         return self.inner._media_bw(write) * self.fault_plan.bandwidth_fraction(
             self.sim.now
         )
@@ -103,7 +103,7 @@ class FaultyDevice(FarMemoryDevice):
                 f"{self.name}: injected transient {op} failure at t={t:.6f}"
             )
 
-    def _degradation_stall_gen(self, moved: float, write: bool, fraction: float):
+    def _degradation_stall_gen(self, moved: float, write: bool, fraction: float):  # simlint: dim[moved=bytes, fraction=dimensionless]
         """Serial stall that brings payload time down to degraded bandwidth."""
         if fraction < 1.0:
             healthy = self.inner._media_bw(write)

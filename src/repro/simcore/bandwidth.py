@@ -56,7 +56,7 @@ class FairShareLink:
         """Number of transfers currently in progress."""
         return len(self._flows)
 
-    def utilization(self, horizon: float | None = None) -> float:
+    def utilization(self, horizon: float | None = None) -> float:  # simlint: dim[return=dimensionless]
         """Fraction of wall time the link carried at least one flow.
 
         With flows still in flight, the open interval since the last state
@@ -167,7 +167,7 @@ class FairShareLink:
             self._flows.remove(f)
             f.event.succeed(None)
 
-    def _earliest_finish(self) -> float | None:
+    def _earliest_finish(self) -> float | None:  # simlint: dim[return=seconds]
         flows = self._flows
         if not flows:
             return None
@@ -225,7 +225,7 @@ class FairShareLink:
         self.bandwidth = float(bandwidth)
         self._reschedule()
 
-    def drain_time(self, nbytes: float, concurrent: int = 1) -> float:
+    def drain_time(self, nbytes: float, concurrent: int = 1) -> float:  # simlint: dim[return=seconds]
         """Analytic helper: seconds to move ``nbytes`` with ``concurrent``
         equal-weight flows sharing the link (no event machinery)."""
         if concurrent < 1:

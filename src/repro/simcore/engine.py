@@ -218,7 +218,7 @@ class Simulator:
         self.event_log = event_log
 
     @property
-    def now(self) -> float:
+    def now(self) -> float:  # simlint: dim[return=seconds]
         """Current simulated time in seconds."""
         return self._now
 

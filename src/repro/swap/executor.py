@@ -80,7 +80,7 @@ class RetryPolicy:
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
 
-    def delay(self, attempt: int) -> float:
+    def delay(self, attempt: int) -> float:  # simlint: dim[return=seconds]
         """Backoff before retry ``attempt`` (1-based)."""
         return self.backoff * self.backoff_factor ** (attempt - 1)
 

@@ -256,7 +256,7 @@ class SwapPathModel:
         width = self.effective_width(config)
 
         # binding constraint: parallel op streams vs media vs PCIe slot
-        def stream_time(ops: float, occ: float, nbytes: float, write: bool) -> float:
+        def stream_time(ops: float, occ: float, nbytes: float, write: bool) -> float:  # simlint: dim[return=seconds, occ=seconds]
             if ops <= 0:
                 return 0.0
             t = ops * occ / min(width, ops)

@@ -66,27 +66,27 @@ def tib(n: float) -> int:
     return int(n * TiB)
 
 
-def GBps(n: float) -> float:
+def GBps(n: float) -> float:  # simlint: dim[return=bytes/sec]
     """Vendor ``n`` GB/s expressed in bytes/second."""
     return n * GB
 
 
-def MBps(n: float) -> float:
+def MBps(n: float) -> float:  # simlint: dim[return=bytes/sec]
     """Vendor ``n`` MB/s expressed in bytes/second."""
     return n * MB
 
 
-def usec(n: float) -> float:
+def usec(n: float) -> float:  # simlint: dim[return=seconds]
     """``n`` microseconds expressed in simulated seconds."""
     return n * 1e-6
 
 
-def msec(n: float) -> float:
+def msec(n: float) -> float:  # simlint: dim[return=seconds]
     """``n`` milliseconds expressed in simulated seconds."""
     return n * 1e-3
 
 
-def to_pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+def to_pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:  # simlint: dim[return=pages, nbytes=bytes, page_size=bytes]
     """Number of ``page_size`` pages needed to hold ``nbytes`` (ceiling)."""
     if nbytes < 0:
         raise ValueError(f"nbytes must be non-negative, got {nbytes}")
@@ -95,7 +95,7 @@ def to_pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
     return -(-nbytes // page_size)
 
 
-def pages_to_bytes(npages: int, page_size: int = PAGE_SIZE) -> int:
+def pages_to_bytes(npages: int, page_size: int = PAGE_SIZE) -> int:  # simlint: dim[return=bytes, npages=pages, page_size=bytes]
     """Bytes spanned by ``npages`` pages of ``page_size``."""
     if npages < 0:
         raise ValueError(f"npages must be non-negative, got {npages}")

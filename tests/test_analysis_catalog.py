@@ -1,0 +1,79 @@
+"""Property tests over the rule catalog itself.
+
+Every registered rule must be self-documenting and demonstrably alive:
+a docstring, a rationale, a severity, a bad example its own check flags,
+a good example it stays silent on, and a row in the DESIGN.md §7 catalog.
+These tests make "add a rule" and "document the rule" one atomic act —
+a rule without a triggering fixture or a catalog entry fails CI.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import RULES, LintConfig, lint_source, lint_sources
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_FIXTURE_PATH = "pkg/mod.py"
+
+
+def _run_example(rule_id, example):
+    """Lint a rule's example (single snippet or {path: source} project)."""
+    config = LintConfig(select=frozenset({rule_id}))
+    if isinstance(example, dict):
+        return lint_sources(dict(example), config)
+    return lint_source(_FIXTURE_PATH, example, config)
+
+
+@pytest.fixture(scope="module")
+def design_text():
+    with open(os.path.join(_REPO_ROOT, "DESIGN.md")) as fh:
+        return fh.read()
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_rule_has_docstring(rule_id):
+    rule = RULES[rule_id]
+    assert rule.__doc__ and rule.__doc__.strip(), f"{rule_id} lacks a docstring"
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_rule_has_title_rationale_severity(rule_id):
+    rule = RULES[rule_id]
+    assert rule.title, f"{rule_id} lacks a title"
+    assert rule.rationale, f"{rule_id} lacks a rationale"
+    assert rule.severity in ("error", "warning"), f"{rule_id}: {rule.severity!r}"
+    assert rule.scope in ("module", "project"), f"{rule_id}: {rule.scope!r}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_rule_bad_example_triggers(rule_id):
+    rule = RULES[rule_id]
+    assert rule.example_bad, f"{rule_id} lacks a triggering example"
+    findings = _run_example(rule_id, rule.example_bad)
+    assert any(f.rule == rule_id for f in findings), (
+        f"{rule_id}.example_bad does not trigger the rule"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_rule_ok_example_passes(rule_id):
+    rule = RULES[rule_id]
+    assert rule.example_ok, f"{rule_id} lacks a passing example"
+    findings = _run_example(rule_id, rule.example_ok)
+    assert findings == [], f"{rule_id}.example_ok still flags: {findings}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_rule_catalogued_in_design_md(rule_id, design_text):
+    assert f"| {rule_id} |" in design_text, (
+        f"{rule_id} has no row in the DESIGN.md §7 rule catalog"
+    )
+
+
+def test_rule_ids_are_unique_and_well_formed():
+    for rule_id, rule in RULES.items():
+        assert rule.id == rule_id
+        prefix = rule_id.rstrip("0123456789")
+        assert prefix.isalpha() and prefix.isupper(), rule_id
+        assert rule_id[len(prefix):].isdigit(), rule_id

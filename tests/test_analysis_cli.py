@@ -96,6 +96,96 @@ def test_mounted_as_repro_cli_subcommand(dirty_file, clean_file):
     assert repro_main(["lint", str(clean_file)]) == 0
 
 
+# -- SARIF output ----------------------------------------------------------
+
+def test_sarif_output_schema(dirty_file, capsys):
+    assert lint_main(["--format", "sarif", str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    results = run["results"]
+    assert results
+    for result in results:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] in ("error", "warning")
+        assert result["message"]["text"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == str(dirty_file)
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1
+
+
+def test_sarif_output_empty_results_when_clean(clean_file, capsys):
+    assert lint_main(["--format", "sarif", str(clean_file)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["results"] == []
+
+
+# -- baseline workflow -----------------------------------------------------
+
+def test_write_baseline_snapshots_counts(dirty_file, tmp_path, capsys):
+    snap = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(snap), str(dirty_file)]) == 0
+    assert "baseline" in capsys.readouterr().err
+    payload = json.loads(snap.read_text())
+    assert payload["schema"] == 1
+    assert payload["counts"] == {f"{dirty_file}::SIM001": 1}
+
+
+def test_baseline_absorbs_known_findings(dirty_file, tmp_path):
+    snap = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(snap), str(dirty_file)]) == 0
+    assert lint_main(["--baseline", str(snap), str(dirty_file)]) == 0
+
+
+def test_baseline_reports_only_new_findings(dirty_file, tmp_path, capsys):
+    snap = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(snap), str(dirty_file)]) == 0
+    dirty_file.write_text(DIRTY + "from heapq import heappop\n")
+    assert lint_main(["--format", "json", "--baseline", str(snap),
+                      str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1 and payload[0]["rule"] == "SIM001"
+    assert payload[0]["line"] == DIRTY.count("\n") + 1
+
+
+def test_baseline_stale_entries_are_named(clean_file, dirty_file, tmp_path, capsys):
+    snap = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(snap), str(dirty_file)]) == 0
+    assert lint_main(["--baseline", str(snap), str(clean_file)]) == 0
+    err = capsys.readouterr().err
+    assert "stale baseline" in err and "SIM001" in err
+
+
+def test_baseline_unreadable_file_is_usage_error(clean_file, tmp_path, capsys):
+    snap = tmp_path / "base.json"
+    snap.write_text("not json")
+    assert lint_main(["--baseline", str(snap), str(clean_file)]) == 2
+    assert "simlint" in capsys.readouterr().err
+
+
+def test_baseline_wrong_schema_is_usage_error(clean_file, tmp_path):
+    snap = tmp_path / "base.json"
+    snap.write_text(json.dumps({"schema": 99, "counts": {}}))
+    assert lint_main(["--baseline", str(snap), str(clean_file)]) == 2
+
+
+def test_checked_in_baseline_covers_the_support_tree(monkeypatch):
+    """Acceptance gate: tests/benchmarks/examples lint clean via the
+    checked-in baseline (new findings there fail CI).
+
+    Baseline keys are the paths as linted, so this runs from the repo root
+    with the same relative targets the CI job uses.
+    """
+    import os
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    monkeypatch.chdir(repo_root)
+    assert lint_main(["--baseline", ".simlint-baseline.json",
+                      "tests", "benchmarks", "examples"]) == 0
+
+
 def test_repo_lints_clean():
     """Acceptance gate: the shipped repro package has zero findings."""
     assert lint_main([]) == 0

@@ -154,6 +154,62 @@ def test_suppression_only_applies_to_its_line():
     assert [f.line for f in findings] == [2]
 
 
+# -- multi-line statements: suppression on the first physical line ---------
+
+def test_suppression_covers_parenthesized_continuation():
+    src = (
+        "cap = (  # simlint: ignore[UNIT001] -- fixture\n"
+        "    64 * 1024\n"
+        ")\n"
+    )
+    assert not run_rule("UNIT001", src)
+
+
+def test_continuation_finding_anchors_past_the_suppressed_line():
+    # same statement without the directive: the finding sits on line 2,
+    # which is exactly the line a naive same-line match would miss
+    src = "cap = (\n    64 * 1024\n)\n"
+    findings = run_rule("UNIT001", src)
+    assert [f.line for f in findings] == [2]
+
+
+def test_suppression_covers_call_argument_on_continuation_line():
+    src = (
+        "configure(  # simlint: ignore[UNIT001] -- fixture\n"
+        "    buffer_size=4096,\n"
+        ")\n"
+    )
+    assert not run_rule("UNIT001", src)
+
+
+def test_suppression_covers_multiline_compound_header():
+    src = (
+        "while (flag and  # simlint: ignore[UNIT002] -- fixture\n"
+        "       sim.now == 0.0):\n"
+        "    pass\n"
+    )
+    assert not run_rule("UNIT002", src)
+
+
+def test_compound_header_suppression_does_not_leak_into_body():
+    src = (
+        "if flag:  # simlint: ignore[UNIT001] -- header only\n"
+        "    cap = 4096\n"
+    )
+    findings = run_rule("UNIT001", src)
+    assert [f.line for f in findings] == [2]
+
+
+def test_continuation_suppression_is_still_rule_specific():
+    src = (
+        "cap = (  # simlint: ignore[DET001] -- wrong id\n"
+        "    64 * 1024\n"
+        ")\n"
+    )
+    findings = run_rule("UNIT001", src)
+    assert [f.line for f in findings] == [2]
+
+
 # -- engine-level behaviour ------------------------------------------------
 
 def test_syntax_error_reported_as_finding():
