@@ -8,7 +8,9 @@ surface** of each engine:
 
 * **group "result"** — the :class:`SwapExecutionResult` surface.  The event
   engine is everything reachable from ``SwapExecutor._run_proc``; the batch
-  engine everything reachable from ``replay_run``/``replay_run_multi``.  A
+  side everything reachable from ``replay_run``/``replay_run_multi`` *plus*
+  the segmented hybrid planner's ``hybrid_run`` (which reaches the fault
+  path — retries, stalls, failover — through its event segments).  A
   mutation is any ``res.X += / -= / =`` or ``res.X.add(...)`` /
   ``res.X.add_repeat(...)`` whose receiver chain ends in ``res`` or
   ``result`` (so LRU-internal stats like ``lru.hits`` don't count).
@@ -18,9 +20,10 @@ surface** of each engine:
 
 A field mutated by one engine but not its peer is a finding anchored at the
 peer's entry-point ``def`` line.  Fields that *legitimately* exist on one
-side only are listed in :data:`_EVENT_ONLY` with the reason (fault plans
-force the event engine, so retry/stall/failover counters have no batch
-mirror).  The pass is a no-op when a group's anchor functions are not all
+side only are listed in :data:`_EVENT_ONLY` with the reason — empty since
+the segmented hybrid planner made the whole fault-path counter surface
+(``transient_retries``/``stall_time``/``failovers``) reachable from the
+batch side.  The pass is a no-op when a group's anchor functions are not all
 in the lint set, so linting a single file never produces phantom parity
 findings.
 """
@@ -36,14 +39,25 @@ from repro.analysis.symbols import FunctionInfo, ProjectContext
 
 __all__ = []
 
-#: Result fields with no batch mirror, and why.  Fault-plan runs force the
-#: event engine (`REPRO_REPLAY=batch` falls back when faults are active), so
-#: retry/stall/failover accounting exists only there by design.
-_EVENT_ONLY: dict[str, str] = {
-    "transient_retries": "fault plans force the event engine",
-    "stall_time": "fault plans force the event engine",
-    "failovers": "fault plans force the event engine",
+#: Result fields with no batch mirror, and why.  Empty: the segmented
+#: hybrid planner (`repro.swap.plan.hybrid_run`) routes fault-plan and
+#: failover runs through event-exact segments, so the retry/stall/failover
+#: counters are now part of the shared surface.  Re-populate (with a
+#: reason per field) only if a counter legitimately becomes one-sided.
+_EVENT_ONLY: dict[str, str] = {}
+
+#: Per-entry exemptions for the *clean-path* batch engines: `replay_run`
+#: and `replay_run_multi` are only ever taken when no live fault windows
+#: and no failover controller are attached (executor eligibility routes
+#: every injected run to `hybrid_run`), so the fault-path counters have
+#: no mutation site there by design.  `hybrid_run` gets no exemption —
+#: it must cover the full event surface.
+_CLEAN_ONLY: dict[str, str] = {
+    "transient_retries": "clean-path engine: injected runs route to hybrid_run",
+    "stall_time": "clean-path engine: injected runs route to hybrid_run",
+    "failovers": "clean-path engine: injected runs route to hybrid_run",
 }
+_CLEAN_ENTRIES = frozenset({"replay_run", "replay_run_multi"})
 
 _RESULT_RECEIVERS = frozenset({"res", "result"})
 _STAT_METHODS = frozenset({"add", "add_repeat"})
@@ -167,19 +181,45 @@ class EngineParity(Rule):
     def _result_group(self, project: ProjectContext) -> Iterator[Finding]:
         event_entries = _find_entries(project, "SwapExecutor._run_proc")
         batch_entries = (_find_entries(project, "replay_run")
-                         + _find_entries(project, "replay_run_multi"))
+                         + _find_entries(project, "replay_run_multi")
+                         + [i for i in _find_entries(project, "hybrid_run")
+                            if i.cls is None])
         if not event_entries or not batch_entries:
             return  # one engine absent from the lint set: nothing to diff
 
         event = self._surface(project, event_entries, _result_mutations)
-        batch = self._surface(project, batch_entries, _result_mutations)
+        # each batch-side entry point is a complete engine: diff every one
+        # against the event surface individually, so a counter dropped
+        # from one engine is caught even while its peers still mutate it
+        for entry in batch_entries:
+            surface = self._surface(project, [entry], _result_mutations)
+            exempt = set(_EVENT_ONLY)
+            if entry.name in _CLEAN_ENTRIES:
+                exempt |= set(_CLEAN_ONLY)
+            for field in sorted(event - surface):
+                if field in exempt:
+                    continue
+                yield self._missing(entry, field, "event", f"`{entry.name}`")
+            for field in sorted(surface - event):
+                yield self._missing(event_entries[0], field,
+                                    f"`{entry.name}`", "event")
 
-        for field in sorted(event - batch):
-            if field in _EVENT_ONLY:
-                continue
-            yield self._missing(batch_entries[0], field, "event", "batch")
-        for field in sorted(batch - event):
-            yield self._missing(event_entries[0], field, "batch", "event")
+        # the hybrid planner's whole-entry surface is a superset of the
+        # event surface by construction (its event segments run the exact
+        # loop), so its *batch-segment booking* is held to the clean batch
+        # engine's booking surface separately: a counter dropped from one
+        # chunk-booking site but not the other is a seam-parity break
+        seg_entries = _find_entries(project, "_batch_segment")
+        book_entries = _find_entries(project, "_apply_classification")
+        if seg_entries and book_entries:
+            seg = self._surface(project, seg_entries, _result_mutations)
+            book = self._surface(project, book_entries, _result_mutations)
+            for field in sorted(book - seg):
+                yield self._missing(seg_entries[0], field,
+                                    "clean batch booking", "hybrid chunk booking")
+            for field in sorted(seg - book):
+                yield self._missing(book_entries[0], field,
+                                    "hybrid chunk booking", "clean batch booking")
 
     # -- group "device": FaultyDevice counters across _io/_io_batch --------
 

@@ -14,6 +14,11 @@ Subcommands::
 ``replay`` executes one workload trace through the swap stack with the
 batched fault-replay engine, the per-access event loop, or both (printing
 the counter diff — empty when the engines agree, which they must).
+``--inject`` runs under a fault plan: single-tenant injected runs take
+the segmented hybrid planner (batch admission outside fault windows,
+event-exact inside — :mod:`repro.swap.plan`) and ``--engine both`` then
+prints the per-counter hybrid-vs-event diff plus the executed segment
+plan (segment count, event-time/access fractions).
 ``--tenants N`` replays N seed-varied copies contending for one shared
 device and reports per-tenant diffs plus the max sim_time relative error
 (counters must match exactly; times agree to the windowed-admission
@@ -86,12 +91,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     plan = None
     if args.inject:
         plan = FaultPlan.load(args.inject)
-        if plan and args.engine != "event":
-            # fault windows break the batch engine's predetermined-outcome
-            # premise; the executor falls back to the event loop on its own,
-            # but say so rather than silently ignoring --engine
-            print("note: fault plan forces the per-access event engine",
-                  file=sys.stderr)
+        if plan and args.engine != "event" and args.tenants > 1:
+            # single-tenant injected runs take the segmented hybrid
+            # planner; the multi-tenant fluid solver has no hybrid
+            # counterpart yet, so contended injected runs fall back to
+            # concurrent event loops — say so rather than silently
+            # ignoring --engine
+            print("note: multi-tenant fault plan forces the per-access "
+                  "event engine", file=sys.stderr)
     kind = BackendKind(args.backend)
     w = TABLE_V[args.workload]
     n = args.tenants
@@ -107,7 +114,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     engines = ("batch", "event") if args.engine == "both" else (args.engine,)
     counters = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
                 "swap_outs", "clean_drops", "file_skips")
+    if plan is not None:
+        # injected runs share the fault-path counters too (hybrid planner)
+        counters = counters + ("transient_retries", "failovers")
     results = {}
+    exec_plans = {}
     saved = os.environ.get(REPLAY_ENV)
     try:
         for engine in engines:
@@ -115,11 +126,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             sim = Simulator()
             device = make_device(sim, kind)
             if plan is not None:
-                device = FaultyDevice(device, plan)
+                # fresh plan per engine run: the plan's seeded transient
+                # RNG is stateful, and a shared instance would hand the
+                # second engine a depleted draw stream
+                device = FaultyDevice(device, FaultPlan.load(args.inject))
             executors = make_contended_executors(
                 sim, device, kind, n, local_pages=local
             )
             results[engine] = run_tenants(executors, traces)
+            exec_plans[engine] = executors[0].execution_plan
     finally:
         if saved is None:
             os.environ.pop(REPLAY_ENV, None)
@@ -130,13 +145,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     for engine in engines:
         for i, res in enumerate(results[engine]):
             tag = f"{engine:5s}" if n == 1 else f"{engine}[{i}]"
-            stats = " ".join(f"{c}={getattr(res, c)}" for c in counters[1:])
+            stats = " ".join(f"{c}={getattr(res, c)}" for c in counters[1:8])
             print(f"  {tag}: {stats}")
             print(f"  {' ' * len(tag)}  sim_time={res.sim_time:.6f}s "
                   f"mean_fault_latency={res.fault_latency.mean * 1e6:.2f}us")
             if plan is not None:
                 print(f"  {' ' * len(tag)}  transient_retries={res.transient_retries} "
                       f"stall_time={res.stall_time:.6f}s failovers={res.failovers}")
+        ep = exec_plans.get(engine)
+        if ep is not None:
+            print(f"  {engine:5s}  segment plan: {ep.describe()}")
     if len(engines) == 2:
         mismatched = False
         max_rel = 0.0
@@ -145,7 +163,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             diff = [c for c in counters if getattr(b, c) != getattr(e, c)]
             if diff:
                 tenant = f" tenant {i}" if n > 1 else ""
-                print(f"  COUNTER MISMATCH{tenant}: {', '.join(diff)}")
+                detail = ", ".join(
+                    f"{c}: {getattr(b, c)} vs {getattr(e, c)}" for c in diff
+                )
+                print(f"  COUNTER MISMATCH{tenant}: {detail}")
                 mismatched = True
             if e.sim_time > 0:
                 max_rel = max(max_rel, abs(b.sim_time - e.sim_time) / e.sim_time)
@@ -229,7 +250,8 @@ def main(argv: list[str] | None = None) -> int:
                           help="fault-plan JSON to inject on the backend device; "
                                "window times are absolute simulated seconds "
                                "(module start delays the first access by ~1s); "
-                               "a non-empty plan forces the event engine")
+                               "single-tenant runs use the segmented hybrid "
+                               "planner, multi-tenant runs force the event engine")
     p_replay.set_defaults(func=_cmd_replay)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")

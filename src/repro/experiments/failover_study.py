@@ -49,7 +49,10 @@ DIRECTIONS = (
     (BackendKind.SSD, BackendKind.RDMA),
     (BackendKind.RDMA, BackendKind.SSD),
 )
-_MAX_TRACE = 40_000     # event-engine replays; keep each regime quick
+#: cap per-regime trace length: the oracle regime (pre-scheduled switch
+#: process) and every post-onset stretch still walk the exact event
+#: loop — only the healthy pre-onset quarter rides the hybrid planner
+_MAX_TRACE = 40_000
 #: per-primary degradation (latency factor, bandwidth fraction): severe
 #: enough that MEI favours the standby AND the degraded phase dwarfs the
 #: standby's module-start cost — a degraded-RDMA op must get slower than
@@ -214,6 +217,14 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         )
 
         key = f"{primary}_{standby}"
+        # the managed run rides the segmented hybrid planner (batch
+        # admission until the fault onset, exact event loop after): its
+        # as-executed schedule is part of the study's diagnostics
+        hplan = executor.execution_plan
+        if hplan is not None:
+            metrics[f"hybrid_segments_{key}"] = float(hplan.n_segments)
+            metrics[f"hybrid_event_time_fraction_{key}"] = (
+                hplan.event_time_fraction)
         metrics[f"time_to_detect_{key}"] = detect
         metrics[f"time_to_switch_{key}"] = switch
         metrics[f"post_switch_tput_ratio_{key}"] = tput_ratio

@@ -159,6 +159,21 @@ class FailoverController:
         if backend is not None and backend in self.switcher.candidates:
             self.monitor(backend).record(latency, nbytes)
 
+    def quiescent(self) -> bool:
+        """Whether the active backend's monitor window holds no samples.
+
+        The hybrid planner's seam condition: a batch segment may only
+        start once every sample the event segment fed the monitor has
+        been consumed by a check — otherwise a check falling inside the
+        batch segment could see stale (possibly degraded) samples and
+        fire a switch the segment's aggregate admission cannot honour.
+        An unattached or never-fed monitor is trivially quiescent.
+        """
+        name = self.frontend.active_backend
+        if name is None or name not in self.monitors:
+            return True
+        return self.monitors[name].samples == 0
+
     # -- decisions ---------------------------------------------------------
     def _best_target(self, degraded: str, report: HealthReport | None) -> str | None:
         """MEI-best available backend, pricing ``degraded`` as observed."""

@@ -24,6 +24,7 @@ the ``repro replay <wl> --inject plan.json`` CLI.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -37,7 +38,25 @@ __all__ = [
     "TransientFault",
     "OfflineFault",
     "FaultPlan",
+    "merge_spans",
 ]
+
+
+def merge_spans(spans) -> list[tuple[float, float]]:
+    """Merge ``[start, end)`` intervals into sorted disjoint spans.
+
+    Abutting spans coalesce (a window ending exactly when the next starts
+    is one contiguous hazard): the half-open convention means no instant
+    between them is healthy.
+    """
+    merged: list[list[float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return [(s, e) for s, e in merged]
 
 
 @dataclass(frozen=True)
@@ -242,6 +261,42 @@ class FaultPlan:
     def horizon(self) -> float:
         """Last instant any window is active (0.0 for an empty plan)."""
         return max((w.end for w in self.windows), default=0.0)
+
+    def live_spans(self, t: float) -> list[tuple[float, float]]:
+        """Merged hazard spans of windows still live at ``t`` (``end > t``).
+
+        Dead windows (fully in the past) drop out, which is what lets the
+        hybrid planner — and the batch-eligibility check — ignore plans
+        whose every window the run has already outlived.
+        """
+        return merge_spans((w.start, w.end) for w in self.windows if w.end > t)
+
+    def segments(self, n_accesses: int, times) -> "list[tuple[int, int, tuple[float, float] | None]]":
+        """Map fault windows onto trace positions.
+
+        ``times`` assigns each of the ``n_accesses`` accesses a
+        non-decreasing simulated admission time (a projection — the
+        planner refines it as the run unfolds).  Returns ``(lo, hi,
+        span)`` triples covering ``[0, n_accesses)`` in order: ``span``
+        is the merged hazard span the positions land inside, or ``None``
+        for a healthy stretch.  Empty stretches are omitted.
+        """
+        out: list[tuple[int, int, tuple[float, float] | None]] = []
+        pos = 0
+        for span in merge_spans((w.start, w.end) for w in self.windows):
+            start, end = span
+            lo = bisect_left(times, start, pos, n_accesses)
+            hi = bisect_left(times, end, lo, n_accesses)
+            if lo > pos:
+                out.append((pos, lo, None))
+            if hi > lo:
+                out.append((lo, hi, span))
+            pos = hi
+            if pos >= n_accesses:
+                break
+        if pos < n_accesses:
+            out.append((pos, n_accesses, None))
+        return out
 
     def onset(self) -> float | None:
         """Earliest window start (None for an empty plan)."""

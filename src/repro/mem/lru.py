@@ -290,7 +290,19 @@ class ActiveInactiveLRU:
         cap = self.capacity
         max_active = max(1, int(cap * self.active_ratio))
         epoch = min(cap - max_active, max_active) - 1
-        if epoch < _MIN_EPOCH:
+        use_epochs = epoch >= _MIN_EPOCH
+        if use_epochs and len(self) == cap:
+            # Warm low-locality pre-check: with full lists the epoch path
+            # bails to the inline loop once a single epoch's first/second-
+            # touch density exceeds _LOOP_DENSITY, after paying an
+            # O(capacity) state build.  The first epoch's distinct count is
+            # a lower bound on its touch events, so when even that exceeds
+            # the threshold, skip the epoch machinery entirely.  Which path
+            # runs is a pure perf choice: both produce identical lists and
+            # counters by contract.
+            probe = pages[:min(epoch, n)]
+            use_epochs = np.unique(probe).size <= _LOOP_DENSITY * probe.size
+        if not use_epochs:
             self._replay_loop(pages, 0, n, hits_mask, ev_pos_parts, ev_page_parts)
         else:
             i = self._replay_epochs(pages, 0, n, epoch, max_active,

@@ -219,6 +219,17 @@ class SwapBackendModule:
         slot = self._map.pop(page)
         self.slots.release(slot)
 
+    def invalidate_pages(self, pages) -> None:
+        """Bulk :meth:`invalidate` — the batch replay's per-chunk seam
+        reconciliation drops thousands of copies at once and the
+        per-page call overhead dominates the dict work."""
+        swap_map = self._map
+        release = self.slots.release
+        for page in pages:
+            if page not in swap_map:
+                raise SwapError(f"page {page} not present on {self.name}")
+            release(swap_map.pop(page))
+
     def drain_to(self, other: "SwapBackendModule"):
         """DES process: migrate all resident pages to ``other`` (used when
         switching backends under load)."""

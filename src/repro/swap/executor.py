@@ -157,9 +157,13 @@ class SwapExecutor:
         self._dirty: set[int] = set()
         self.result = SwapExecutionResult()
         #: (sim time, accesses completed) sampled every _PROGRESS_STRIDE
-        #: accesses of the event-level loop (batched replay, which only
-        #: runs fault-free, leaves it empty)
+        #: accesses of the event-level loop; batched replay leaves it
+        #: empty and the segmented hybrid engine records one sample per
+        #: admitted chunk
         self.progress: TimeSeries = TimeSeries(name="exec:progress")
+        #: the segment plan of the last hybrid run (see repro.swap.plan),
+        #: None for pure batch/event runs
+        self.execution_plan = None
 
     # -- fault tolerance -------------------------------------------------------
     def add_standby(self, kind: BackendKind, device: FarMemoryDevice) -> None:
@@ -193,11 +197,17 @@ class SwapExecutor:
         self.migrate_on_fault = True
 
     def _fault_injected(self) -> bool:
-        """Whether any registered module wraps a device with a live plan."""
-        return any(
-            getattr(self.frontend.module(name).device, "fault_plan", None)
-            for name in self.frontend.backends
-        )
+        """Whether any registered module wraps a device with *live* windows.
+
+        A plan whose every window has already elapsed (``end <= now``) can
+        never perturb the run, so it does not cost batch eligibility.
+        """
+        now = self.sim.now
+        for name in self.frontend.backends:
+            plan = getattr(self.frontend.module(name).device, "fault_plan", None)
+            if plan is not None and plan and plan.live_spans(now):
+                return True
+        return False
 
     # -- execution -----------------------------------------------------------
     def run(self, trace: PageTrace) -> SwapExecutionResult:
@@ -207,33 +217,36 @@ class SwapExecutor:
         cold single-tenant stacks with an idle simulator — to the batched
         fault-replay engine (:mod:`repro.swap.replay`), which produces
         bit-identical counters from a vectorized classification pass plus
-        aggregate DES admission.  ``REPRO_REPLAY=event`` forces the exact
-        per-access loop (the reference the equivalence tests compare
-        against); warm or multi-tenant executors always take it.
+        aggregate DES admission.  Cold runs with live fault windows or an
+        attached failover controller go to the segmented hybrid engine
+        (:mod:`repro.swap.plan`): batch admission outside hazard spans,
+        the exact per-access loop inside them.  ``REPRO_REPLAY=event``
+        forces the exact per-access loop (the reference the equivalence
+        tests compare against); warm or multi-tenant executors always
+        take it.
         """
         mode = os.environ.get(REPLAY_ENV, "batch")
         if mode not in ("batch", "event"):
             raise ConfigurationError(
                 f"unknown {REPLAY_ENV}={mode!r}; expected 'batch' or 'event'"
             )
-        if mode == "batch" and self._batch_eligible():
-            return replay_run(self, trace)
+        if mode == "batch":
+            if self._batch_eligible():
+                return replay_run(self, trace)
+            if self._hybrid_eligible():
+                from repro.swap.plan import hybrid_run
+
+                return hybrid_run(self, trace)
         done = self.sim.process(self._run_proc(trace), name="exec:run")
         self.sim.run(until=done)
         return self.result
 
-    def _batch_eligible(self) -> bool:
-        """Whether batched replay reproduces this run exactly.
+    def _cold_idle(self) -> bool:
+        """Whether the stack is cold and the simulator idle.
 
-        The classification pass assumes the access outcome stream is
-        predetermined by the trace alone: nothing may be resident or
-        swapped out yet, no counters accumulated, and no concurrent DES
-        activity that the per-access loop would interleave with.  Fault
-        windows break that premise — retries, stalls, and mid-run
-        switches depend on *when* each access runs — so any attached
-        failover controller or non-empty fault plan forces the event
-        engine (an empty :class:`~repro.faults.plan.FaultPlan` is
-        harmless and keeps batch eligibility).
+        The premise both replay engines share: nothing resident or
+        swapped out yet, no counters accumulated, no concurrent DES
+        activity the per-access loop would interleave with.
         """
         return (
             self.sim.idle
@@ -242,17 +255,68 @@ class SwapExecutor:
             and len(self.lru) == 0
             and not self._evicted
             and self.frontend.resident_far_pages == 0
+        )
+
+    def _batch_eligible(self) -> bool:
+        """Whether pure batched replay reproduces this run exactly.
+
+        The classification pass assumes the access outcome stream is
+        predetermined by the trace alone.  Fault windows break that
+        premise — retries, stalls, and mid-run switches depend on *when*
+        each access runs — so an attached failover controller or live
+        fault windows route to the segmented hybrid engine instead (an
+        empty or fully elapsed :class:`~repro.faults.plan.FaultPlan` is
+        harmless and keeps batch eligibility).
+        """
+        return (
+            self._cold_idle()
             and self.failover is None
             and not self._fault_injected()
+        )
+
+    def _hybrid_eligible(self) -> bool:
+        """Whether the segmented hybrid engine can run this trace.
+
+        Cold idle stack with something the pure batch engine cannot
+        honour — live fault windows or an attached failover controller —
+        on a device model the planner knows how to price (stock batched
+        I/O path, possibly wrapped by a single
+        :class:`~repro.faults.device.FaultyDevice`).
+        """
+        from repro.swap.plan import plannable
+
+        return (
+            self._cold_idle()
+            and (self.failover is not None or self._fault_injected())
+            and plannable(self)
         )
 
     def _run_proc(self, trace: PageTrace):
         res = self.result
         sim = self.sim
         start = sim.now
-        pages = trace.pages.tolist()
-        kinds = trace.kinds.tolist()
-        ops = trace.ops.tolist()
+        yield from self._span_proc(
+            trace.pages.tolist(), trace.kinds.tolist(), trace.ops.tolist(), 0
+        )
+        if sim.sanitize:
+            self.assert_page_conservation()
+        self.progress.record(sim.now, float(res.accesses))
+        res.sim_time = sim.now - start
+        return res
+
+    def _span_proc(self, pages, kinds, ops, pos, stop_time=None):
+        """Run accesses ``[pos, len)`` through the per-access event loop.
+
+        The exact engine, span-shaped for the hybrid planner: with a
+        ``stop_time`` the loop hands back control at the first access
+        boundary after the clock reaches it *and* the failover monitor is
+        quiescent (see :meth:`FailoverController.quiescent` — a batch
+        segment must not inherit unevaluated health samples).  Returns
+        the next unprocessed index; the caller owns start/end bookkeeping
+        (``sim_time``, final progress sample, sanitizer pass).
+        """
+        res = self.result
+        sim = self.sim
         anon = int(PageKind.ANON)
         store_op = int(PageOp.STORE)
         # the loop body runs per access — bind the hot callables once
@@ -265,7 +329,10 @@ class SwapExecutor:
         granularity = self.config.granularity
         add_latency = res.fault_latency.add
         sanitize = sim.sanitize
-        for page, kind, op in zip(pages, kinds, ops):
+        failover = self.failover
+        i = pos
+        for page, kind, op in zip(pages[pos:], kinds[pos:], ops[pos:]):
+            i += 1
             res.accesses += 1
             if kind != anon:
                 res.file_skips += 1
@@ -299,7 +366,6 @@ class SwapExecutor:
                     frontend.invalidate_page(page)
                 latency = sim.now - t0
                 add_latency(latency)
-                failover = self.failover
                 if failover is not None:
                     # attribute the latency to the module that served it —
                     # under lazy migration the page's owner, which after a
@@ -329,11 +395,13 @@ class SwapExecutor:
                 self.progress.record(sim.now, float(res.accesses))
                 if sanitize:
                     self.assert_page_conservation()
-        if self.sim.sanitize:
-            self.assert_page_conservation()
-        self.progress.record(sim.now, float(res.accesses))
-        res.sim_time = self.sim.now - start
-        return res
+            if (
+                stop_time is not None
+                and sim.now >= stop_time
+                and (failover is None or failover.quiescent())
+            ):
+                break
+        return i
 
     # -- guarded I/O (fault tolerance) -----------------------------------------
     def _owner_device(self, page: int) -> FarMemoryDevice:
@@ -502,6 +570,9 @@ def run_tenants(executors, traces) -> list[SwapExecutionResult]:
     classification per tenant, then a fluid fair-share phase-2 solve);
     ``REPRO_REPLAY=event`` (or any warm/ineligible tenant) runs every
     per-access reference loop concurrently through the event engine.
+    A single tenant delegates to :meth:`SwapExecutor.run`, so injected
+    or failover-managed runs take the segmented hybrid planner
+    (:mod:`repro.swap.plan`) rather than the bare event loop.
     Returns the per-tenant results in input order; each tenant's
     ``sim_time`` covers its own start-to-finish interval.
     """
@@ -516,6 +587,11 @@ def run_tenants(executors, traces) -> list[SwapExecutionResult]:
     for ex in executors:
         if ex.sim is not sim:
             raise ConfigurationError("tenant executors must share one simulator")
+    if len(executors) == 1:
+        # the single-tenant ladder (batch -> segmented hybrid -> event)
+        # lives on SwapExecutor.run; delegating keeps injected/failover
+        # runs on the hybrid planner instead of the bare event loop
+        return [executors[0].run(traces[0])]
     mode = os.environ.get(REPLAY_ENV, "batch")
     if mode not in ("batch", "event"):
         raise ConfigurationError(

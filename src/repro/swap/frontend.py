@@ -230,6 +230,19 @@ class SwapFrontend:
             raise BackendUnavailableError(f"{self.name}: page {page} has no far copy")
         self._modules[owner].invalidate(page)
 
+    def invalidate_pages(self, pages) -> None:
+        """Bulk :meth:`invalidate_page`, grouped per owning backend."""
+        owner_map = self._owner
+        groups: dict[str, list[int]] = {}
+        for page in pages:
+            owner = owner_map.pop(page, None)
+            if owner is None:
+                raise BackendUnavailableError(
+                    f"{self.name}: page {page} has no far copy")
+            groups.setdefault(owner, []).append(page)
+        for name, group in groups.items():
+            self._modules[name].invalidate_pages(group)
+
     def swapped_out(self, page: int) -> bool:
         """Whether ``page`` currently lives on some backend."""
         return page in self._owner

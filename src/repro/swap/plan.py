@@ -1,0 +1,529 @@
+"""Segmented hybrid replay: the execution planner unifying the engines.
+
+The batched fault-replay engine (:mod:`repro.swap.replay`) is ~15x faster
+than the per-access event loop but assumes the access outcome stream is
+predetermined — which fault windows and failover controllers break:
+retries, stalls, and mid-run switches depend on *when* each access runs.
+Before this module any run with a live :class:`~repro.faults.plan.FaultPlan`
+or an attached :class:`~repro.faults.failover.FailoverController` paid the
+full event-engine cost even though faults occupy a sliver of its time.
+
+:func:`hybrid_run` recovers the batch speedup by slicing the trace into
+segments on *hazard* boundaries — the merged live fault windows of the
+active backend's plan:
+
+* **outside** every hazard span, chunks of the trace are classified
+  against the live seam state (:func:`~repro.swap.replay.classify_span`)
+  and admitted as aggregate per-``_WINDOW`` flows, exactly like
+  :func:`~repro.swap.replay.replay_run`;
+* **inside** a hazard span (and on its approach, once batching to the
+  window start would risk overshooting), the exact per-access event loop
+  runs (:meth:`SwapExecutor._span_proc`), faithfully resolving retries,
+  stalls, graceful degradation, and failover decisions;
+* **across seams**, the LRU lists advance in place, the touched set and
+  far-copy ownership are reconciled per chunk, and — when a failover
+  controller is attached — the health monitor is fed the batch segments'
+  per-fault latencies at exact global fault ordinals, so every health
+  check fires at the same fault index with the same window content as in
+  the pure event engine.
+
+Two invariants make the splice exact:
+
+* a batch segment never *starts* until the failover monitor is quiescent
+  (its window holds no unevaluated samples — see
+  :meth:`FailoverController.quiescent`), so every check falling inside a
+  batch segment sees only healthy same-bin samples and provably returns
+  a healthy verdict (zero DES events, no switch);
+* a batch segment never *ends* inside a hazard: admission is priced from
+  the exact serial cost of the uncontended healthy batch path, so the
+  segment is cut one op-cost short of the hazard start (the event engine
+  walks only the final sliver), with a loud
+  :class:`~repro.errors.SimulationError` if the model ever overshoots.
+
+After a completed failover switch the run stays on the event engine:
+lazy migration makes the outcome stream owner-dependent (which accesses
+invalidate retained copies depends on who serves each fault), which the
+vectorized classification deliberately does not model.
+
+Counters come out bit-identical to the event engine; ``sim_time`` agrees
+to float round-off (the serial cost sum is merely re-associated).  The
+equivalence sweep in ``tests/test_swap_plan.py`` locks this in across
+backends x fault-window kinds x {with, without} failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import FarMemoryDevice
+from repro.errors import SimulationError
+from repro.faults.device import FaultyDevice
+from repro.swap.pathmodel import FAULT_COST
+from repro.swap.replay import _WINDOW, classify_span
+
+__all__ = ["PlanSegment", "ExecutionPlan", "hybrid_run", "plannable"]
+
+#: First chunk size (anonymous accesses) of a batch segment; doubles per
+#: admitted chunk up to ``_CHUNK_MAX`` so long healthy stretches cost
+#: O(log) classification passes while cuts near hazards stay cheap.
+_CHUNK_MIN = 16 * _WINDOW  # simlint: ignore[UNIT001] -- access count, not bytes
+_CHUNK_MAX = 256 * _WINDOW  # simlint: ignore[UNIT001] -- access count, not bytes
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """One contiguous stretch of the trace run on a single engine."""
+
+    engine: str      #: "batch" | "event"
+    start: int       #: first trace position (full coordinates, inclusive)
+    end: int         #: one past the last trace position
+    t_start: float   #: simulated time the segment began
+    t_end: float     #: simulated time the segment ended
+
+    @property
+    def accesses(self) -> int:
+        """Trace accesses the segment covered."""
+        return self.end - self.start
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the segment spanned."""
+        return self.t_end - self.t_start
+
+
+class ExecutionPlan:
+    """The as-executed segment schedule of one hybrid run.
+
+    Built *during* execution, not ahead of it: hazard spans map to trace
+    positions only once the clock reaches them, so the planner interleaves
+    planning and admission and records what it actually did.
+    """
+
+    def __init__(self) -> None:
+        self.segments: list[PlanSegment] = []
+
+    def add(self, engine: str, start: int, end: int,
+            t_start: float, t_end: float) -> None:
+        """Append one executed segment (empty segments are dropped)."""
+        if end <= start:
+            return
+        last = self.segments[-1] if self.segments else None
+        if last is not None and last.engine == engine and last.end == start:
+            self.segments[-1] = PlanSegment(engine, last.start, end,
+                                            last.t_start, t_end)
+        else:
+            self.segments.append(PlanSegment(engine, start, end, t_start, t_end))
+
+    @property
+    def n_segments(self) -> int:
+        """Executed segments after merging same-engine neighbours."""
+        return len(self.segments)
+
+    @property
+    def event_time_fraction(self) -> float:
+        """Fraction of simulated time spent on the event engine."""
+        total = sum(s.duration for s in self.segments)
+        if total <= 0.0:
+            return 0.0
+        event = sum(s.duration for s in self.segments if s.engine == "event")
+        return event / total
+
+    @property
+    def event_access_fraction(self) -> float:
+        """Fraction of accesses walked by the event engine."""
+        total = sum(s.accesses for s in self.segments)
+        if total == 0:
+            return 0.0
+        event = sum(s.accesses for s in self.segments if s.engine == "event")
+        return event / total
+
+    def describe(self) -> str:
+        """One-line summary for CLI/experiment output."""
+        return (
+            f"{self.n_segments} segment(s), "
+            f"event time fraction {self.event_time_fraction:.3f}, "
+            f"event access fraction {self.event_access_fraction:.3f}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ExecutionPlan {self.describe()}>"
+
+
+def plannable(executor) -> bool:
+    """Whether the hybrid planner can price this executor's active device.
+
+    Batch segments admit aggregate flows through the stock
+    :meth:`FarMemoryDevice._io_batch` path (possibly behind a single
+    :class:`FaultyDevice` wrapper, which is a healthy-time no-op outside
+    its windows); a device subclass with its own batched DES path needs
+    the event engine throughout.
+    """
+    frontend = executor.frontend
+    name = frontend.active_backend
+    if name is None:
+        return False
+    device = frontend.module(name).device
+    if type(device) is FaultyDevice:
+        device = device.inner
+    t = type(device)
+    return (
+        t._io_batch is FarMemoryDevice._io_batch
+        and t.batch_command_cost is FarMemoryDevice.batch_command_cost
+        and t.stage_pipes is FarMemoryDevice.stage_pipes
+    )
+
+
+def _active_hazards(executor) -> list[tuple[float, float]]:
+    """Merged live fault spans of the *active* backend's plan.
+
+    Only the active device serves I/O before a switch, so only its
+    windows can perturb the outcome stream; standby plans matter solely
+    through degraded-verdict pricing, which by the quiescence invariant
+    happens inside event segments.  After a switch the planner never
+    returns to batch, so re-reading the active plan each iteration is
+    sufficient.
+    """
+    frontend = executor.frontend
+    device = frontend.module(frontend.active_backend).device
+    plan = getattr(device, "fault_plan", None)
+    if plan is None or not plan:
+        return []
+    return plan.live_spans(executor.sim.now)
+
+
+def _replay_span(executor, pages, ops, touched_arr, far_arr):
+    """Classify one span against the live LRU (on_evict parked)."""
+    lru = executor.lru
+    saved = lru.on_evict
+    lru.on_evict = None
+    try:
+        return classify_span(pages, ops, lru, touched_arr, far_arr)
+    finally:
+        lru.on_evict = saved
+
+
+def _lru_snapshot(lru):
+    active, inactive = lru.state_arrays()
+    return (active, inactive, lru.hits, lru.misses,
+            lru.promotions, lru.demotions, lru.evictions)
+
+
+def _lru_restore(lru, snap) -> None:
+    active, inactive, hits, misses, promotions, demotions, evictions = snap
+    lru.restore_state(active, inactive)
+    lru.hits = hits
+    lru.misses = misses
+    lru.promotions = promotions
+    lru.demotions = demotions
+    lru.evictions = evictions
+
+
+def _seam_arrays(executor):
+    """Sorted-unique (touched, far) arrays from the live executor state."""
+    touched = executor._touched
+    touched_arr = np.fromiter(touched, dtype=np.int64, count=len(touched))
+    touched_arr.sort()
+    owner = executor.frontend._owner
+    far_arr = np.fromiter(owner.keys(), dtype=np.int64, count=len(owner))
+    far_arr.sort()
+    return touched_arr, far_arr
+
+
+def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
+                   a_pos, full_pos, limit, rate):
+    """Admit batch chunks from ``a_pos`` until the trace ends or ``limit``
+    nears; returns the new ``(a_pos, full_pos)``.  ``rate`` is the run's
+    recent-weighted ``[serial_cost, anon_accesses]`` density estimate,
+    carried across segments so later segments size their first chunk from
+    the observed cost rate instead of re-walking the discovery ladder.
+
+    ``limit`` is the next hazard start (or None): chunks are classified
+    speculatively and priced per access from the exact healthy serial
+    cost, and only the accesses that finish at least one op-cost before
+    ``limit`` are admitted — a partial fit restores the LRU snapshot and
+    re-classifies the kept prefix (the classification is prefix-stable,
+    so kept outcomes are unchanged; only the span-end far set needed
+    recomputing).  Chunk sizes double along healthy stretches and are
+    clamped to the remaining hazard budget via the observed cost rate,
+    so speculative work is rarely thrown away.
+    """
+    sim = executor.sim
+    res = executor.result
+    frontend = executor.frontend
+    lru = executor.lru
+    granularity = executor.config.granularity
+    failover = executor.failover
+    interval = executor.health_check_interval
+    active_name = frontend.active_backend
+    device = frontend.module(active_name).device
+    base = getattr(device, "inner", device)
+    # exact healthy per-op serial costs of the stock batch path: kernel
+    # fault cost + command phase (setup per one-granule request) + the
+    # slowest stage pipe draining one granule
+    per_fault = (
+        FAULT_COST
+        + base.batch_command_cost(1, False, granularity)
+        + granularity / min(p.bandwidth for p in base.stage_pipes(False))
+    )
+    per_wb = (
+        base.batch_command_cost(1, True, granularity)
+        + granularity / min(p.bandwidth for p in base.stage_pipes(True))
+    )
+    n_anon = int(anon_pages.shape[0])
+    chunk = _CHUNK_MIN
+    if limit is not None and rate[1] and rate[0] > 0.0:
+        # returning segment: open with a budget-sized chunk straight away,
+        # biased low — an undersized chunk costs one more loop pass, an
+        # oversized one costs re-classifying the whole kept prefix
+        predicted = int(0.85 * (limit - sim.now) * rate[1] / rate[0])
+        chunk = min(_CHUNK_MAX, max(_WINDOW, predicted))
+    add_repeat = res.fault_latency.add_repeat
+    # seam arrays are maintained incrementally across chunks: far_end is
+    # the complete post-chunk far set by contract, and the owner map is
+    # reconciled to it below, so rebuilding from executor state per chunk
+    # would only re-sort what we already hold
+    touched_arr, far_arr = _seam_arrays(executor)
+    while a_pos < n_anon:
+        budget = None
+        if limit is not None:
+            budget = limit - sim.now
+            if budget <= 0.0:
+                break
+            size = chunk
+            if rate[1] and rate[0] > 0.0:
+                predicted = int(0.85 * budget * rate[1] / rate[0])
+                size = min(size, max(_WINDOW, predicted))
+        else:
+            # no hazard ahead: one span covers the rest of the trace
+            size = n_anon - a_pos
+        a1 = min(n_anon, a_pos + size)
+        snap = _lru_snapshot(lru) if limit is not None else None
+        span = _replay_span(executor, anon_pages[a_pos:a1],
+                            anon_ops[a_pos:a1], touched_arr, far_arr)
+        span_len = a1 - a_pos
+        if limit is None:
+            cut = span_len
+        else:
+            # per-access serial cost of the chunk; the admission model is
+            # exact for the healthy uncontended path (the aggregate flows
+            # below replay the same serial sum), so the cut can sit one
+            # op-cost short of the hazard instead of whole windows — the
+            # event engine walks only the sliver batching cannot price
+            costs = np.bincount(span.fault_pos,
+                                minlength=span_len) * per_fault
+            wb_pos = span.evict_pos[~span.clean]
+            if wb_pos.size:
+                costs = costs + np.bincount(wb_pos,
+                                            minlength=span_len) * per_wb
+            cum = np.cumsum(costs)
+            # refresh the observed cost density from the *tail* of the
+            # speculative span: the zero-cost cold-fill stretch at the run
+            # start would dilute any whole-run average (even a decayed
+            # one — half-weighted cold history is enough to overshoot
+            # every prediction into a cut), and the latest warm tail is
+            # the best stationary estimate of what comes next
+            tail = min(span_len, _CHUNK_MIN)
+            tail_cost = float(cum[-1])
+            if tail < span_len:
+                tail_cost -= float(cum[span_len - tail - 1])
+            if tail >= 4 * _WINDOW:
+                rate[0] = tail_cost
+                rate[1] = tail
+            else:
+                rate[0] += tail_cost
+                rate[1] += tail
+            guard = per_fault + per_wb
+            cut = int(np.searchsorted(cum + guard, limit - sim.now,
+                                      side="right"))
+        if cut <= 0:
+            if snap is not None:
+                _lru_restore(lru, snap)
+            break
+        partial = cut < span_len
+        if partial:
+            # rewind the LRU and re-classify the kept prefix (the
+            # classification is prefix-stable, so kept outcomes are
+            # unchanged; only the span-end far set needs recomputing)
+            _lru_restore(lru, snap)
+            a1 = a_pos + cut
+            span = _replay_span(executor, anon_pages[a_pos:a1],
+                                anon_ops[a_pos:a1], touched_arr, far_arr)
+        n_windows = (a1 - a_pos + _WINDOW - 1) // _WINDOW
+        fault_counts = np.bincount(span.fault_pos // _WINDOW,
+                                   minlength=n_windows)
+        wb_counts = np.bincount(span.evict_pos[~span.clean] // _WINDOW,
+                                minlength=n_windows)
+        fc = fault_counts.tolist()
+        wc = wb_counts.tolist()
+        base_faults = res.faults
+
+        def admit():
+            f_idx = base_faults
+            for k_fault, k_wb in zip(fc, wc):
+                if k_fault:
+                    t0 = sim.now
+                    yield sim.timeout(k_fault * FAULT_COST)
+                    yield from frontend.load_batch_gen(
+                        k_fault, granularity=granularity)
+                    mean = (sim.now - t0) / k_fault
+                    add_repeat(mean, k_fault)
+                    if failover is not None:
+                        # replicate the event loop's monitor feed: one
+                        # observation per fault at its global ordinal, a
+                        # check at every interval crossing — provably
+                        # healthy-verdict (quiescent entry, same-bin
+                        # samples), so checks cost zero DES events
+                        for _ in range(k_fault):
+                            f_idx += 1
+                            failover.observe_fault(
+                                mean, granularity, backend=active_name)
+                            if f_idx % interval == 0:
+                                if (yield from failover.check_gen()) is not None:
+                                    raise SimulationError(
+                                        "hybrid replay: health check fired a "
+                                        "switch inside a batch segment"
+                                    )
+                if k_wb:
+                    yield from frontend.store_batch_gen(
+                        k_wb, granularity=granularity)
+
+        if any(fc) or any(wc):
+            done = sim.process(admit(), name="exec:hybrid")
+            sim.run(until=done)
+            if limit is not None and sim.now > limit:
+                raise SimulationError(
+                    f"hybrid replay: batch segment overshot the hazard at "
+                    f"t={limit:.6f} (now t={sim.now:.6f})"
+                )
+        # book the chunk's timing-independent facts
+        full_next = int(anon_idx[a1]) if a1 < n_anon else n_full
+        n_span = a1 - a_pos
+        res.accesses += full_next - full_pos
+        res.file_skips += (full_next - full_pos) - n_span
+        res.hits += span.hits
+        res.cold_allocations += span.cold_allocations
+        res.faults += span.faults
+        res.swap_ins += span.faults
+        res.swap_outs += span.swap_outs
+        res.clean_drops += span.clean_drops
+        executor._touched.update(span.new_touched.tolist())
+        # reconcile far-copy ownership: the span's far_end is the complete
+        # set (seam copies included), so delta against the seam set
+        drop = np.setdiff1d(far_arr, span.far_end, assume_unique=True)
+        add = np.setdiff1d(span.far_end, far_arr, assume_unique=True)
+        if drop.size:
+            frontend.invalidate_pages(drop.tolist())
+        if add.size:
+            frontend.adopt_far_pages(add.tolist())
+        if span.new_touched.size:
+            # sorted disjoint merge: np.union1d would re-sort the whole
+            # touched set on every chunk of the coupon-collector tail
+            new = np.sort(span.new_touched)
+            touched_arr = np.insert(touched_arr,
+                                    np.searchsorted(touched_arr, new), new)
+        far_arr = span.far_end
+        executor.progress.record(sim.now, float(res.accesses))
+        if sim.sanitize:
+            executor.assert_page_conservation()
+        a_pos = a1
+        full_pos = full_next
+        if partial:
+            break
+        chunk = min(chunk * 2, _CHUNK_MAX)
+    return a_pos, full_pos
+
+
+#: Accesses materialized per python-list slice handed to the event loop.
+_EVENT_SLICE = 4 * _WINDOW  # simlint: ignore[UNIT001] -- access count, not bytes
+
+
+def _event_span(executor, trace, full_pos, stop_time):
+    """Run the exact per-access loop from ``full_pos``; returns the next
+    unprocessed index (see :meth:`SwapExecutor._span_proc`).
+
+    The trace is handed over in bounded python-list slices: event spans
+    cover a sliver of the run, so converting the whole trace up front
+    (as the pure event engine does) would cost more than the walk
+    itself.  ``_span_proc`` is position-relative — progress strides and
+    health intervals key off global counters — so slicing is exact.
+    """
+    sim = executor.sim
+    n = int(trace.pages.shape[0])
+    while full_pos < n:
+        hi = n if stop_time is None else min(n, full_pos + _EVENT_SLICE)
+        pages = trace.pages[full_pos:hi].tolist()
+        kinds = trace.kinds[full_pos:hi].tolist()
+        ops = trace.ops[full_pos:hi].tolist()
+        done = sim.process(
+            executor._span_proc(pages, kinds, ops, 0, stop_time),
+            name="exec:hybrid:event",
+        )
+        sim.run(until=done)
+        full_pos += int(done.value)
+        if full_pos < hi or stop_time is None:
+            break
+        # the loop's stop check runs *after* each access, so a stop that
+        # fires exactly on the slice boundary must not leak one access
+        # into the next slice
+        failover = executor.failover
+        if sim.now >= stop_time and (failover is None or failover.quiescent()):
+            break
+    return full_pos
+
+
+def hybrid_run(executor, trace):
+    """Execute ``trace`` on the segmented hybrid engine.
+
+    The planner's entry point, called by :meth:`SwapExecutor.run` for
+    cold runs with live fault windows or an attached failover controller
+    on a plannable device.  Bit-identical counters and end state to the
+    per-access event engine; ``sim_time`` equal to float round-off.  The
+    as-executed schedule lands on ``executor.execution_plan``.
+    """
+    sim = executor.sim
+    res = executor.result
+    start = sim.now
+    plan = ExecutionPlan()
+    executor.execution_plan = plan
+    n_full = int(trace.pages.shape[0])
+    anon_mask = trace.anon_mask
+    anon_pages = np.ascontiguousarray(trace.pages[anon_mask])
+    anon_ops = np.ascontiguousarray(trace.ops[anon_mask])
+    anon_idx = np.flatnonzero(anon_mask)
+    full_pos = 0
+    a_pos = 0
+    rate = [0.0, 0.0]  # recent-weighted [serial cost, anon accesses] density
+    while full_pos < n_full:
+        failover = executor.failover
+        if failover is not None and failover.switched_at is not None:
+            # post-switch: lazy migration makes outcomes owner-dependent;
+            # the event engine carries the remainder
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_span(executor, trace, full_pos, None)
+            plan.add("event", p0, full_pos, t0, sim.now)
+            break
+        hazards = _active_hazards(executor)
+        if not hazards or sim.now < hazards[0][0]:
+            limit = hazards[0][0] if hazards else None
+            t0, p0 = sim.now, full_pos
+            a_pos, full_pos = _batch_segment(
+                executor, anon_pages, anon_ops, anon_idx, n_full,
+                a_pos, full_pos, limit, rate,
+            )
+            plan.add("batch", p0, full_pos, t0, sim.now)
+            if full_pos >= n_full:
+                break
+            hazards = _active_hazards(executor)
+        # approach + hazard cluster (and its quiescence tail) run exactly
+        stop_time = hazards[0][1] if hazards else None
+        t0, p0 = sim.now, full_pos
+        full_pos = _event_span(executor, trace, full_pos, stop_time)
+        plan.add("event", p0, full_pos, t0, sim.now)
+        a_pos = int(np.searchsorted(anon_idx, full_pos))
+    if sim.sanitize:
+        executor.assert_page_conservation()
+    executor.progress.record(sim.now, float(res.accesses))
+    res.sim_time = sim.now - start
+    return res

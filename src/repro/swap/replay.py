@@ -61,8 +61,9 @@ from repro.simcore.bandwidth import _EPS_BYTES
 from repro.swap.pathmodel import FAULT_COST
 from repro.trace.schema import PageTrace
 
-__all__ = ["ReplayClassification", "classify_trace", "trace_mrc", "replay_run",
-           "replay_run_multi", "REPLAY_VERSION", "REPLAY_ENV"]
+__all__ = ["ReplayClassification", "SpanClassification", "classify_trace",
+           "classify_span", "trace_mrc", "replay_run", "replay_run_multi",
+           "REPLAY_VERSION", "REPLAY_ENV"]
 
 #: Bumped whenever classification output could change; part of the
 #: on-disk classification cache key.
@@ -127,12 +128,119 @@ class ReplayClassification:
         return self.evictions - self.clean_drops
 
 
+@dataclass
+class SpanClassification:
+    """Phase-1 output for one *span* of a segmented run.
+
+    The warm-start analogue of :class:`ReplayClassification`, produced by
+    :func:`classify_span` for the hybrid planner (``repro.swap.plan``):
+    positions are indices into the span's anonymous sub-trace, and the
+    split between cold allocations and capacity faults is made against
+    the seam state (previously-touched pages fault; unknown pages are
+    cold) rather than against the span alone.
+    """
+
+    n_anon: int              #: anonymous accesses in the span
+    hits: int                #: LRU hits (either generation)
+    cold_allocations: int    #: never-touched first touches — zero-fill
+    fault_pos: np.ndarray    #: positions of capacity faults (swap-ins)
+    evict_pos: np.ndarray    #: positions that triggered each eviction
+    evict_page: np.ndarray   #: the victim page of each eviction
+    clean: np.ndarray        #: per eviction: dropped without writeback?
+    far_end: np.ndarray      #: complete far-copy set at span end (sorted)
+    new_touched: np.ndarray  #: pages first touched in this span, span order
+
+    @property
+    def faults(self) -> int:
+        """Capacity faults (== swap-ins: every fault fetches its page)."""
+        return int(self.fault_pos.shape[0])
+
+    @property
+    def evictions(self) -> int:
+        """Victims produced by reclaim."""
+        return int(self.evict_pos.shape[0])
+
+    @property
+    def clean_drops(self) -> int:
+        """Victims freed without writeback (valid swap-cache copy)."""
+        return int(self.clean.sum())
+
+    @property
+    def swap_outs(self) -> int:
+        """Victims written back to the far backend."""
+        return self.evictions - self.clean_drops
+
+
+def classify_span(
+    pages: np.ndarray,
+    ops: np.ndarray,
+    lru: ActiveInactiveLRU,
+    touched: np.ndarray,
+    far0: np.ndarray,
+) -> SpanClassification:
+    """Classify one span of a run, resuming from seam state.
+
+    ``lru`` is the *live* cache — the warm replay advances its lists and
+    statistics in place, so the caller's LRU ends in exactly the state
+    the event loop would leave.  ``touched`` (sorted, unique) is the set
+    of pages ever touched before the span: a span-first miss of a known
+    page is a capacity fault (its page lives in far memory), of an
+    unknown page a cold allocation.  ``far0`` (sorted, unique) is the
+    far-copy set at the seam, threaded into the eviction scan as virtual
+    evictions (see :func:`_classify_evictions`).
+
+    With empty seam state this reduces bit-for-bit to the cold-start
+    classification — :func:`_classify_uncached` delegates here — and the
+    seam-handoff property test pins the splice invariant: classify the
+    whole trace, or split at any boundary and resume, same answer.
+    """
+    n_anon = int(pages.shape[0])
+    log = lru.replay(pages)
+    if n_anon:
+        prev = _prev_occurrence(pages, n_anon)
+        miss_pos = np.flatnonzero(~log.hits)
+        first = prev[miss_pos] < 0
+        first_idx = miss_pos[first]
+        first_pages = pages[first_idx]
+        if touched.size:
+            known = ActiveInactiveLRU._in_sorted(first_pages, touched)
+        else:
+            known = np.zeros(first_idx.shape[0], dtype=bool)
+        fault_pos = miss_pos[~first]
+        if known.any():
+            # span-first misses of already-touched pages fault too
+            fault_pos = np.sort(np.concatenate([fault_pos, first_idx[known]]))
+        fault_pos = np.ascontiguousarray(fault_pos)
+        cold = int((~known).sum())
+        new_touched = np.ascontiguousarray(first_pages[~known])
+    else:
+        fault_pos = np.empty(0, dtype=np.int64)
+        cold = 0
+        new_touched = np.empty(0, dtype=np.int64)
+    clean, far_end = _classify_evictions(
+        pages, ops, log.evict_pos, log.evict_page, n_anon,
+        far0=far0 if far0.size else None,
+    )
+    return SpanClassification(
+        n_anon=n_anon,
+        hits=int(log.hits.sum()),
+        cold_allocations=cold,
+        fault_pos=fault_pos,
+        evict_pos=log.evict_pos,
+        evict_page=log.evict_page,
+        clean=clean,
+        far_end=far_end,
+        new_touched=new_touched,
+    )
+
+
 def _classify_evictions(
     pages: np.ndarray,
     ops: np.ndarray,
     evict_pos: np.ndarray,
     evict_page: np.ndarray,
     n: int,
+    far0: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Split the victim stream into writebacks vs clean drops; find the
     pages still holding a valid far copy at end of run.
@@ -149,26 +257,47 @@ def _classify_evictions(
     valid far copy at end of run iff it was ever evicted and its last
     STORE does not postdate its last eviction.
 
+    ``far0`` (sorted, unique) carries seam state for the segmented hybrid
+    engine: pages holding a valid far copy *before* the span.  Each is a
+    *virtual eviction* preceding every real event — real positions shift
+    by +1 and the virtual rows sit at pseudo-position 0, so a seam copy
+    behaves exactly like a copy acquired by an eviction at position -1:
+    the first span STORE invalidates it, an eviction before any STORE is
+    a clean drop.  The returned ``far_end`` is then the *complete* far
+    set at span end, carried copies included.
+
     Resolved as one segmented scan: merge per-page STORE-access events and
     eviction events, sort by ``(page, position, store-before-evict)``, and
     take running maxima of store/eviction positions with a per-group
     offset so groups cannot bleed into each other.
     """
     n_e = int(evict_pos.shape[0])
-    if n_e == 0:
+    n_f = 0 if far0 is None else int(far0.shape[0])
+    if n_e == 0 and n_f == 0:
         return np.zeros(0, dtype=bool), np.empty(0, dtype=np.int64)
     s_pos = np.flatnonzero(ops == int(PageOp.STORE))
     s_page = pages[s_pos]
     n_s = int(s_pos.shape[0])
-    ev_page = np.concatenate([s_page, evict_page])
-    ev_pos = np.concatenate([s_pos, evict_pos])
-    ev_kind = np.concatenate(
-        [np.zeros(n_s, dtype=np.int8), np.ones(n_e, dtype=np.int8)]
-    )
+    if n_f:
+        ev_page = np.concatenate([s_page, far0, evict_page])
+        ev_pos = np.concatenate(
+            [s_pos + 1, np.zeros(n_f, dtype=np.int64), evict_pos + 1]
+        )
+        ev_kind = np.concatenate(
+            [np.zeros(n_s, dtype=np.int8), np.ones(n_f + n_e, dtype=np.int8)]
+        )
+    else:
+        ev_page = np.concatenate([s_page, evict_page])
+        ev_pos = np.concatenate([s_pos + 1, evict_pos + 1])
+        ev_kind = np.concatenate(
+            [np.zeros(n_s, dtype=np.int8), np.ones(n_e, dtype=np.int8)]
+        )
     # stores sort before evictions at the same (page, position): the
     # running store-max at an eviction row then already includes the
     # self-eviction STORE.  Keys are unique per event, so when they pack
     # into an int64 a single-key argsort replaces the 3-key lexsort.
+    # (Virtual seam rows are the one exception — they tie at pseudo-
+    # position 0 with nothing, every real position being >= 1.)
     stride = np.int64(2 * (n + 2))
     maxpage = int(ev_page.max())
     if maxpage + 1 <= (2**63 - 1) // int(stride):
@@ -178,7 +307,7 @@ def _classify_evictions(
     page_s = ev_page[order]
     pos_s = ev_pos[order]
     kind_s = ev_kind[order]
-    total = n_s + n_e
+    total = n_s + n_f + n_e
     newg = np.empty(total, dtype=bool)
     newg[0] = True
     np.not_equal(page_s[1:], page_s[:-1], out=newg[1:])
@@ -202,9 +331,15 @@ def _classify_evictions(
         run_store[evict_rows] <= prev_evict[evict_rows]
     )
     # scatter back to the original in-order victim stream (eviction i sat
-    # at merged index n_s + i before sorting)
+    # at merged index n_s + n_f + i before sorting; lower indices are
+    # virtual seam rows, which export no victim)
     clean = np.empty(n_e, dtype=bool)
-    clean[order[evict_rows] - n_s] = clean_sorted
+    orig = order[evict_rows]
+    if n_f:
+        real = orig >= n_s + n_f
+        clean[orig[real] - (n_s + n_f)] = clean_sorted[real]
+    else:
+        clean[orig - n_s] = clean_sorted
     # end-of-run far set, read off each group's last row
     gend = np.flatnonzero(np.concatenate([newg[1:], [True]]))
     far_mask = (run_evict[gend] >= 0) & (run_store[gend] <= run_evict[gend])
@@ -250,34 +385,22 @@ def _classify_uncached(
     n = int(trace.pages.shape[0])
     n_anon = int(pages.shape[0])
     lru = ActiveInactiveLRU(capacity=capacity, active_ratio=active_ratio)
-    log = lru.replay(pages)
-    if n_anon:
-        prev = _prev_occurrence(pages, n_anon)
-        miss_pos = np.flatnonzero(~log.hits)
-        first = prev[miss_pos] < 0
-        fault_pos = np.ascontiguousarray(miss_pos[~first])
-        cold = int(first.sum())
-        # first occurrences enumerate the distinct pages — no hash pass
-        touched = np.ascontiguousarray(pages[prev < 0])
-    else:
-        fault_pos = np.empty(0, dtype=np.int64)
-        cold = 0
-        touched = np.empty(0, dtype=np.int64)
-    clean, far_end = _classify_evictions(pages, ops, log.evict_pos, log.evict_page, n_anon)
+    empty = np.empty(0, dtype=np.int64)
+    span = classify_span(pages, ops, lru, touched=empty, far0=empty)
     active, inactive = lru.state_arrays()
     return ReplayClassification(
         n_accesses=n,
         file_skips=n - n_anon,
-        hits=int(log.hits.sum()),
-        cold_allocations=cold,
-        fault_pos=fault_pos,
-        evict_pos=log.evict_pos,
-        evict_page=log.evict_page,
-        clean=clean,
-        far_end=far_end,
+        hits=span.hits,
+        cold_allocations=span.cold_allocations,
+        fault_pos=span.fault_pos,
+        evict_pos=span.evict_pos,
+        evict_page=span.evict_page,
+        clean=span.clean,
+        far_end=span.far_end,
         final_active=active,
         final_inactive=inactive,
-        touched=touched,
+        touched=span.new_touched,
         lru_promotions=lru.promotions,
         lru_demotions=lru.demotions,
     )

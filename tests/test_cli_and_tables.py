@@ -74,6 +74,29 @@ def test_cli_replay_rejects_bad_tenant_count(capsys):
     assert "--tenants" in capsys.readouterr().err
 
 
+def test_cli_replay_injected_both_prints_segment_plan(tmp_path, capsys):
+    """``--engine both --inject``: the hybrid engine must agree with the
+    event engine per counter (fault trio included) and the executed
+    segment plan is printed so regressions are diagnosable from the CLI."""
+    from repro.faults import FaultPlan, LatencyFault, TransientFault
+
+    plan = FaultPlan([
+        # module start puts sim.now ~1s at first access; hit the run mid-way
+        LatencyFault(start=1.2, duration=0.3, factor=8.0),
+        TransientFault(start=2.0, duration=0.2, error_rate=0.2),
+    ], seed=11)
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    assert main([
+        "replay", "bert", "--engine", "both", "--inject", str(path),
+        "--scale", "0.1", "--max-accesses", "20000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "transient_retries=" in out
+    assert "segment plan:" in out and "segment(s)" in out
+    assert "engines agree on every counter across 1 tenant(s)" in out
+
+
 def test_cli_workloads(capsys):
     assert main(["workloads", "--scale", "0.1"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,430 @@
+"""Equivalence suite for the segmented hybrid replay planner.
+
+The hybrid engine's contract mirrors the batch engine's: for every run it
+accepts — cold single-tenant stacks with live fault windows or an attached
+failover controller — all execution counters (including the fault-path
+trio ``transient_retries``/``stall_time``/``failovers``) must equal the
+per-access event loop bit for bit, the end state (LRU lists and order,
+touched set, far ownership, active backend, controller event log) must be
+identical, and ``sim_time`` must agree to float round-off.  The sweep
+here covers backends x fault-window shapes x {with, without} a failover
+controller, including mid-run backend switches; the hypothesis property
+test pins the seam-state handoff invariant the planner is built on.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.switching import ImplicitSwitcher
+from repro.devices import BackendKind, NVMeSSD, RDMANic
+from repro.faults import (
+    BandwidthFault,
+    FailoverController,
+    FaultPlan,
+    FaultyDevice,
+    LatencyFault,
+    OfflineFault,
+    TransientFault,
+)
+from repro.faults.plan import merge_spans
+from repro.mem.lru import ActiveInactiveLRU
+from repro.mem.page import PageKind, PageOp
+from repro.simcore import Simulator
+from repro.swap import SwapConfig, SwapExecutor
+from repro.swap.plan import ExecutionPlan, plannable
+from repro.swap.replay import REPLAY_ENV, classify_span
+from repro.trace import fuse
+from repro.trace.schema import make_trace
+
+pytestmark = pytest.mark.faults
+
+COUNTERS = ("accesses", "file_skips", "hits", "cold_allocations", "faults",
+            "swap_ins", "swap_outs", "clean_drops", "transient_retries",
+            "failovers")
+
+
+def _build_trace(seed, n, distinct, dist="zipf", store_ratio=0.3,
+                 file_ratio=0.0):
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        pages = rng.integers(0, distinct, size=n)
+    elif dist == "zipf":
+        pages = (rng.zipf(1.3, size=n) - 1) % distinct
+    else:  # sequential
+        pages = (np.arange(n) + rng.integers(0, distinct)) % distinct
+    ops = np.where(rng.random(n) < store_ratio, int(PageOp.STORE),
+                   int(PageOp.LOAD))
+    kinds = np.where(rng.random(n) < file_ratio, int(PageKind.FILE),
+                     int(PageKind.ANON))
+    return make_trace(pages, ops=ops, kinds=kinds)
+
+
+def _stack(windows, trace, device_cls=NVMeSSD, kind=BackendKind.SSD,
+           capacity=80, failover=False, latency_threshold=3.0,
+           bandwidth_floor=0.5, interval=16):
+    """Primary device wrapped in a fault plan; optional standby+controller."""
+    sim = Simulator()
+    faulty = FaultyDevice(device_cls(sim), FaultPlan(windows, seed=5))
+    executor = SwapExecutor(sim, faulty, kind, local_pages=capacity)
+    controller = None
+    if failover:
+        standby_kind = (BackendKind.RDMA if kind is BackendKind.SSD
+                        else BackendKind.SSD)
+        standby_cls = RDMANic if kind is BackendKind.SSD else NVMeSSD
+        standby = standby_cls(sim)
+        executor.add_standby(standby_kind, standby)
+        switcher = ImplicitSwitcher({
+            kind.value: (faulty, SwapConfig()),
+            standby_kind.value: (standby, SwapConfig()),
+        })
+        controller = FailoverController(
+            executor.frontend, switcher, fuse(trace), compute_time=0.05,
+            min_samples=8, latency_threshold=latency_threshold,
+            bandwidth_floor=bandwidth_floor,
+        )
+        executor.attach_failover(controller, health_check_interval=interval)
+    return sim, executor, controller
+
+
+def _run_mode(mode, windows, trace, **kw):
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = mode
+    try:
+        sim, executor, controller = _stack(windows, trace, **kw)
+        result = executor.run(trace)
+        return result, executor, controller
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def _clock_span(trace, **kw):
+    """(t0, T): sim time when the run starts, clean event-run duration.
+
+    Fault windows are absolute simulated times and module start-up costs
+    advance the clock before the first access, so test plans place their
+    windows at ``t0 + fraction * T``.
+    """
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = "event"
+    try:
+        sim, executor, _ = _stack([], trace, **{k: v for k, v in kw.items()
+                                                if k != "failover"})
+        t0 = sim.now
+        res = executor.run(trace)
+        return t0, res.sim_time
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+
+
+def _assert_time_equal(got, want):
+    """Clock timestamps agree to float round-off; None must match None."""
+    if want is None or got is None:
+        assert got == want
+    else:
+        assert got == pytest.approx(want, rel=1e-9)
+
+
+def _assert_equivalent(windows, trace, expect_hybrid=True, **kw):
+    hyb, hex_, hctl = _run_mode("batch", windows, trace, **kw)
+    ev, eex, ectl = _run_mode("event", windows, trace, **kw)
+    if expect_hybrid:
+        assert hex_.execution_plan is not None, "hybrid engine not taken"
+    for counter in COUNTERS:
+        assert getattr(hyb, counter) == getattr(ev, counter), counter
+    # stall waits are `recovery - sim.now`, so like sim_time they are
+    # clock-derived and agree to float round-off, not bit-for-bit
+    assert hyb.stall_time == pytest.approx(ev.stall_time, rel=1e-9, abs=1e-15)
+    assert hyb.sim_time == pytest.approx(ev.sim_time, rel=1e-9)
+    assert hyb.fault_latency.n == ev.fault_latency.n
+    if ev.fault_latency.n:
+        assert hyb.fault_latency.mean == pytest.approx(ev.fault_latency.mean)
+    h_act, h_inact = hex_.lru.state_arrays()
+    e_act, e_inact = eex.lru.state_arrays()
+    assert h_act.tolist() == e_act.tolist()
+    assert h_inact.tolist() == e_inact.tolist()
+    assert hex_._touched == eex._touched
+    assert hex_.frontend._owner == eex.frontend._owner
+    assert hex_.frontend.active_backend == eex.frontend.active_backend
+    if hctl is not None:
+        assert hctl.failovers == ectl.failovers
+        _assert_time_equal(hctl.detected_at, ectl.detected_at)
+        _assert_time_equal(hctl.switched_at, ectl.switched_at)
+    return hyb, ev, hex_, eex
+
+
+# ------------------------------------------------- injected equivalence sweep
+@pytest.mark.parametrize("device_cls,kind", [
+    (NVMeSSD, BackendKind.SSD),
+    (RDMANic, BackendKind.RDMA),
+])
+@pytest.mark.parametrize("shape", ["latency", "bandwidth", "transient",
+                                   "offline", "multi"])
+def test_hybrid_matches_event_fault_shapes(device_cls, kind, shape):
+    trace = _build_trace(3, 12000, 200)
+    t0, T = _clock_span(trace, device_cls=device_cls, kind=kind)
+    windows = {
+        "latency": [LatencyFault(start=t0 + 0.3 * T, duration=0.15 * T,
+                                 factor=8.0)],
+        "bandwidth": [BandwidthFault(start=t0 + 0.5 * T, duration=0.2 * T,
+                                     fraction=0.25)],
+        "transient": [TransientFault(start=t0 + 0.4 * T, duration=0.1 * T,
+                                     error_rate=0.3)],
+        "offline": [OfflineFault(start=t0 + 0.6 * T, duration=0.05 * T)],
+        "multi": [
+            LatencyFault(start=t0 + 0.2 * T, duration=0.1 * T, factor=4.0),
+            TransientFault(start=t0 + 0.45 * T, duration=0.08 * T,
+                           error_rate=0.2),
+            BandwidthFault(start=t0 + 0.7 * T, duration=0.1 * T,
+                           fraction=0.5),
+        ],
+    }[shape]
+    hyb, ev, hex_, _ = _assert_equivalent(windows, trace,
+                                          device_cls=device_cls, kind=kind)
+    plan = hex_.execution_plan
+    # the run actually alternated engines: fault windows sit mid-trace
+    assert any(s.engine == "batch" for s in plan.segments)
+    assert any(s.engine == "event" for s in plan.segments)
+    assert 0.0 < plan.event_access_fraction < 1.0
+
+
+@pytest.mark.parametrize("shape", ["latency", "transient"])
+def test_hybrid_matches_event_with_controller_no_switch(shape):
+    """Controller attached, degradation below thresholds: no switch, and
+    the synthetic monitor feed keeps every health check bit-identical."""
+    trace = _build_trace(4, 12000, 200)
+    t0, T = _clock_span(trace)
+    windows = {
+        "latency": [LatencyFault(start=t0 + 0.3 * T, duration=0.15 * T,
+                                 factor=4.0)],
+        "transient": [TransientFault(start=t0 + 0.4 * T, duration=0.05 * T,
+                                     error_rate=0.25)],
+    }[shape]
+    hyb, ev, hex_, _ = _assert_equivalent(
+        windows, trace, failover=True,
+        latency_threshold=1000.0, bandwidth_floor=0.001,
+    )
+    assert ev.failovers == 0
+    assert hex_.frontend.active_backend == "ssd"
+    # batch resumed after the window closed
+    assert hex_.execution_plan.segments[-1].engine == "batch"
+
+
+def test_hybrid_matches_event_clean_managed():
+    """Controller attached but no fault windows: the whole run batches,
+    with the synthetic monitor feed replicating every health check."""
+    trace = _build_trace(5, 12000, 200)
+    hyb, ev, hex_, _ = _assert_equivalent([], trace, failover=True)
+    assert ev.failovers == 0
+    plan = hex_.execution_plan
+    assert plan.event_access_fraction == 0.0
+    assert plan.n_segments == 1
+
+
+def test_hybrid_matches_event_mid_run_switch():
+    """Never-closing degradation fires a mid-run failover: the hybrid
+    engine must reproduce the switch instant, event log, and post-switch
+    lazy-migration behaviour exactly (post-switch runs event-only)."""
+    trace = _build_trace(6, 12000, 200)
+    t0, T = _clock_span(trace)
+    windows = [
+        LatencyFault(start=t0 + 0.4 * T, duration=1e6, factor=50.0),
+        BandwidthFault(start=t0 + 0.4 * T, duration=1e6, fraction=0.02),
+    ]
+    hyb, ev, hex_, _ = _assert_equivalent(windows, trace, failover=True)
+    assert ev.failovers == 1
+    assert hex_.frontend.active_backend == "rdma"
+    assert hex_.execution_plan.segments[-1].engine == "event"
+
+
+def test_hybrid_matches_event_offline_store_escalation():
+    """Offline primary during stores escalates to the standby."""
+    rng = np.random.default_rng(7)
+    pages = (rng.zipf(1.3, size=10000) - 1) % 180
+    trace = make_trace(pages, ops=np.full(10000, int(PageOp.STORE)))
+    t0, T = _clock_span(trace)
+    windows = [OfflineFault(start=t0 + 0.5 * T, duration=0.3 * T)]
+    _assert_equivalent(windows, trace, failover=True)
+
+
+def test_hybrid_matches_event_file_backed_mix():
+    trace = _build_trace(8, 12000, 200, store_ratio=0.4, file_ratio=0.3)
+    t0, T = _clock_span(trace)
+    windows = [LatencyFault(start=t0 + 0.35 * T, duration=0.1 * T,
+                            factor=6.0)]
+    hyb, ev, _, _ = _assert_equivalent(windows, trace)
+    assert ev.file_skips > 0
+
+
+@pytest.mark.sanitize
+def test_hybrid_passes_page_conservation():
+    trace = _build_trace(9, 8000, 150)
+    t0, T = _clock_span(trace)
+    windows = [LatencyFault(start=t0 + 0.3 * T, duration=0.2 * T, factor=5.0)]
+    hyb, _, hex_, _ = _assert_equivalent(windows, trace)
+    hex_.assert_page_conservation()
+
+
+# ---------------------------------------------------- batch eligibility edges
+def test_dead_windows_keep_pure_batch():
+    """A plan whose every window has already elapsed can never perturb the
+    run, so it keeps *pure* batch eligibility (no hybrid planner)."""
+    trace = _build_trace(10, 8000, 150)
+    # module start-up costs put sim.now ~0.9 at run start; [0, 0.01) is dead
+    windows = [LatencyFault(start=0.0, duration=0.01, factor=50.0)]
+    saved = os.environ.get(REPLAY_ENV)
+    os.environ[REPLAY_ENV] = "batch"
+    try:
+        sim, executor, _ = _stack(windows, trace)
+        assert sim.now > 0.01  # the window really is in the past
+        assert not executor._fault_injected()
+        assert executor._batch_eligible()
+        res = executor.run(trace)
+        assert executor.execution_plan is None  # pure batch path taken
+    finally:
+        if saved is None:
+            os.environ.pop(REPLAY_ENV, None)
+        else:
+            os.environ[REPLAY_ENV] = saved
+    ev, _, _ = _run_mode("event", windows, trace)
+    for counter in COUNTERS:
+        assert getattr(res, counter) == getattr(ev, counter), counter
+
+
+def test_far_future_windows_run_hybrid_all_batch():
+    """Windows beyond the trace's span can't be ruled out a priori (the
+    run's duration isn't known until it runs), but the planner never
+    reaches them: one all-batch segment, event fraction zero."""
+    trace = _build_trace(11, 8000, 150)
+    windows = [LatencyFault(start=1e6, duration=10.0, factor=50.0)]
+    hyb, ev, hex_, _ = _assert_equivalent(windows, trace)
+    plan = hex_.execution_plan
+    assert plan.event_access_fraction == 0.0
+
+
+def test_live_windows_force_hybrid_eligibility():
+    trace = _build_trace(12, 4000, 100)
+    sim, executor, _ = _stack(
+        [LatencyFault(start=1e3, duration=1.0, factor=2.0)], trace)
+    assert executor._fault_injected()
+    assert not executor._batch_eligible()
+    assert executor._hybrid_eligible()
+    assert plannable(executor)
+
+
+# --------------------------------------------------- seam-state handoff (hyp)
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(2, 600),
+    distinct=st.integers(2, 80),
+    capacity=st.integers(2, 60),
+    split_frac=st.floats(0.0, 1.0),
+    store_ratio=st.floats(0.0, 1.0),
+)
+def test_seam_handoff_property(seed, n, distinct, capacity, split_frac,
+                               store_ratio):
+    """Classification resumed from seam state equals whole-trace
+    classification: split a random trace at a random boundary, classify
+    the halves with the seam state handed across, and the LRU lists,
+    far-resident set, and all counters must match the unsplit run."""
+    rng = np.random.default_rng(seed)
+    pages = rng.integers(0, distinct, size=n)
+    ops = np.where(rng.random(n) < store_ratio, int(PageOp.STORE),
+                   int(PageOp.LOAD)).astype(np.int64)
+    k = int(round(split_frac * n))
+    empty = np.empty(0, dtype=np.int64)
+
+    whole_lru = ActiveInactiveLRU(capacity=capacity)
+    whole = classify_span(pages, ops, whole_lru, touched=empty, far0=empty)
+
+    split_lru = ActiveInactiveLRU(capacity=capacity)
+    first = classify_span(pages[:k], ops[:k], split_lru,
+                          touched=empty, far0=empty)
+    touched1 = np.unique(first.new_touched)
+    second = classify_span(pages[k:], ops[k:], split_lru,
+                           touched=touched1, far0=first.far_end)
+
+    # all seven counters recompose exactly
+    assert first.hits + second.hits == whole.hits
+    assert (first.cold_allocations + second.cold_allocations
+            == whole.cold_allocations)
+    assert first.faults + second.faults == whole.faults
+    assert first.evictions + second.evictions == whole.evictions
+    assert first.clean_drops + second.clean_drops == whole.clean_drops
+    assert first.swap_outs + second.swap_outs == whole.swap_outs
+    # fault positions recompose (second half shifts by the split point)
+    recomposed = np.concatenate([first.fault_pos, second.fault_pos + k])
+    assert recomposed.tolist() == whole.fault_pos.tolist()
+    # far-resident set at the end: the resumed span carries seam copies
+    assert second.far_end.tolist() == whole.far_end.tolist()
+    # touched set recomposes
+    assert (np.union1d(touched1, second.new_touched).tolist()
+            == np.unique(whole.new_touched).tolist())
+    # the live LRU ends in the identical state, lists and counters
+    w_act, w_inact = whole_lru.state_arrays()
+    s_act, s_inact = split_lru.state_arrays()
+    assert s_act.tolist() == w_act.tolist()
+    assert s_inact.tolist() == w_inact.tolist()
+    for attr in ("hits", "misses", "promotions", "demotions", "evictions"):
+        assert getattr(split_lru, attr) == getattr(whole_lru, attr), attr
+
+
+# ------------------------------------------------------- plan-object plumbing
+def test_merge_spans_coalesces_and_sorts():
+    assert merge_spans([]) == []
+    assert merge_spans([(3.0, 4.0), (1.0, 2.0)]) == [(1.0, 2.0), (3.0, 4.0)]
+    # overlap and abutment coalesce (half-open windows: no healthy gap)
+    assert merge_spans([(1.0, 2.0), (1.5, 3.0), (3.0, 4.0)]) == [(1.0, 4.0)]
+    assert merge_spans([(0.0, 1.0), (0.2, 0.4)]) == [(0.0, 1.0)]
+
+
+def test_live_spans_drop_dead_windows():
+    plan = FaultPlan([
+        LatencyFault(start=0.0, duration=1.0, factor=2.0),
+        LatencyFault(start=5.0, duration=1.0, factor=2.0),
+    ], seed=0)
+    assert plan.live_spans(0.0) == [(0.0, 1.0), (5.0, 6.0)]
+    assert plan.live_spans(2.0) == [(5.0, 6.0)]
+    assert plan.live_spans(10.0) == []
+    # still live while inside a window
+    assert plan.live_spans(5.5) == [(5.0, 6.0)]
+
+
+def test_fault_plan_segments_maps_windows_to_positions():
+    plan = FaultPlan([
+        LatencyFault(start=2.0, duration=1.0, factor=2.0),
+        LatencyFault(start=6.0, duration=2.0, factor=2.0),
+    ], seed=0)
+    times = np.linspace(0.0, 10.0, 11)  # access i at t=i
+    segs = plan.segments(11, times)
+    assert segs == [
+        (0, 2, None), (2, 3, (2.0, 3.0)), (3, 6, None),
+        (6, 8, (6.0, 8.0)), (8, 11, None),
+    ]
+    # spans cover [0, n) exactly, in order, without gaps
+    assert segs[0][0] == 0 and segs[-1][1] == 11
+    assert all(a[1] == b[0] for a, b in zip(segs, segs[1:]))
+
+
+def test_execution_plan_merges_and_reports():
+    plan = ExecutionPlan()
+    plan.add("batch", 0, 100, 0.0, 1.0)
+    plan.add("batch", 100, 200, 1.0, 2.0)   # merges with previous
+    plan.add("event", 200, 260, 2.0, 4.0)
+    plan.add("batch", 260, 300, 4.0, 4.5)
+    plan.add("event", 300, 300, 4.5, 4.5)   # empty: dropped
+    assert plan.n_segments == 3
+    assert plan.segments[0].accesses == 200
+    assert plan.event_time_fraction == pytest.approx(2.0 / 4.5)
+    assert plan.event_access_fraction == pytest.approx(60 / 300)
+    assert "3 segment(s)" in plan.describe()
