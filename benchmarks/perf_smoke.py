@@ -46,6 +46,19 @@ Three suites, selected with ``--suite``:
     :data:`LINT_BUDGET_SECONDS` — the lint must stay cheap enough to sit
     in every CI pipeline and pre-commit hook.
 
+``tune``
+    The cost-model-driven tuner vs the exhaustive grid reference on the
+    decision layer: every (workload, backend) console configuration and
+    (workload, backend, SLO) offload search runs under both
+    ``REPRO_TUNE`` modes, plus the Fig 19 MBE threshold search on an
+    Alibaba-like trace.  The two modes must choose identical
+    configurations (verified while timing — a divergence aborts the
+    bench); the report records both ledgers and wall times.  Writes
+    ``BENCH_tune.json``.  ``--check`` fails (exit 1) unless the tuner's
+    simulated-run reduction clears :data:`TUNE_REDUCTION_FLOOR`, its wall
+    time beats the grid's (same-machine relative numbers), and the
+    deterministic run counts match the checked-in baseline exactly.
+
 Every ``BENCH_*.json`` report shares one header convention: ``schema``
 (:data:`BENCH_SCHEMA`, bumped when a report layout changes), ``suite``,
 and ``generated`` (date).  ``--check`` refuses to compare against a
@@ -86,6 +99,10 @@ REGRESSION_TOLERANCE = 0.25
 
 #: Hard wall-clock ceiling for one full-tree lint run (``--suite lint``).
 LINT_BUDGET_SECONDS = 10.0
+
+#: --check fails when the tuner's simulated-run reduction over the grid
+#: reference drops below this on the decision suite (the PR's ≥10× claim).
+TUNE_REDUCTION_FLOOR = 10.0
 
 #: Report-layout version shared by every BENCH_*.json file.  Bump whenever
 #: any suite's report shape changes; ``--check`` then rejects the old
@@ -438,6 +455,186 @@ def bench_replay_mt(total_accesses: int, tenants: int, repeats: int) -> dict:
     }
 
 
+# -- tune suite --------------------------------------------------------------
+
+#: Decision-layer cases: a swap-friendly / swap-sensitive mix spanning
+#: serial and parallel fault paths, on the two main backends.
+_TUNE_WORKLOADS = ("lg-bfs", "bert", "sort", "kmeans")
+_TUNE_BACKENDS = ("rdma", "ssd")
+_TUNE_SLOS = (1.2, 1.8)
+_TUNE_SCALE = 0.25
+
+
+def _tune_decisions(mode: str, scale: float):
+    """Every console decision of the suite under one REPRO_TUNE mode.
+
+    Returns (decisions, ledger snapshot, wall seconds).  Features and
+    compute times are resolved before the timer starts so the comparison
+    times only the decision layer.
+    """
+    from repro.core.console import SmartConsole
+    from repro.devices.registry import BackendKind, make_device
+    from repro.simcore import Simulator
+    from repro.tune.search import TUNE_ENV
+    from repro.workloads import TABLE_V
+
+    inputs = []
+    for wname in _TUNE_WORKLOADS:
+        w = TABLE_V[wname]
+        f = w.features(scale)
+        compute = w.compute_time(scale)
+        par = w.spec.fault_parallelism
+        for bname in _TUNE_BACKENDS:
+            device = make_device(Simulator(), BackendKind(bname))
+            inputs.append((wname, bname, f, compute, par, device))
+
+    os.environ[TUNE_ENV] = mode
+    console = SmartConsole()
+    decisions = []
+    t0 = time.perf_counter()
+    for wname, bname, f, compute, par, device in inputs:
+        decisions.append((wname, bname, "configure",
+                          console.configure(f, device, fault_parallelism=par)))
+        for slo in _TUNE_SLOS:
+            decisions.append((wname, bname, slo,
+                              console.max_offload_under_slo(
+                                  f, device, compute, slo,
+                                  fault_parallelism=par)))
+    seconds = time.perf_counter() - t0
+    return decisions, console.stats.snapshot(), seconds
+
+
+def _tune_mbe(mode: str):
+    """The Fig 19 MBE threshold search under one REPRO_TUNE mode."""
+    from repro.cluster import alibaba_like_trace, mbe_improvement_grid
+    from repro.cluster.mbe import best_thresholds, mbe_cell, tuned_thresholds
+
+    thresholds = np.round(np.linspace(0.1, 0.9, 17), 3)
+    trace = alibaba_like_trace(2018, n_machines=800, n_snapshots=8, seed=0)
+    u = trace.utilization
+    n_cells = sum(1 for a in thresholds for b in thresholds if b >= a)
+    t0 = time.perf_counter()
+    if mode == "grid":
+        # the exhaustive reference prices the upper triangle twice: once
+        # for the contour surface, once inside best_thresholds
+        mbe_improvement_grid(u, thresholds, thresholds)
+        a, b, peak = best_thresholds(u, thresholds, thresholds)
+        evals = 2 * n_cells
+    else:
+        diag = [mbe_cell(u, float(t), float(t)) for t in thresholds]
+        a, b, peak, climb = tuned_thresholds(u, thresholds, thresholds,
+                                             diagonal=diag)
+        evals = len(diag) + climb
+    seconds = time.perf_counter() - t0
+    return (a, b, peak), evals, seconds
+
+
+def bench_tune(repeats: int) -> dict:
+    """Tuner vs grid on the decision layer, identical-choice verified."""
+    grid_dec = tuner_dec = None
+    grid_stats = tuner_stats = None
+    grid_best = tuner_best = None
+    for _ in range(repeats):
+        dec, stats, seconds = _tune_decisions("grid", _TUNE_SCALE)
+        if grid_best is None or seconds < grid_best:
+            grid_best = seconds
+        grid_dec, grid_stats = dec, stats
+        dec, stats, seconds = _tune_decisions("model", _TUNE_SCALE)
+        if tuner_best is None or seconds < tuner_best:
+            tuner_best = seconds
+        tuner_dec, tuner_stats = dec, stats
+    diverged = [
+        (w, b, tag) for (w, b, tag, got), (_, _, _, want)
+        in zip(tuner_dec, grid_dec) if got != want
+    ]
+    if diverged:
+        raise AssertionError(f"tuner/grid decision divergence on: {diverged}")
+
+    grid_peak, grid_cells, grid_mbe_s = _tune_mbe("grid")
+    tuner_peak, tuner_cells, tuner_mbe_s = _tune_mbe("model")
+    if tuner_peak != grid_peak:
+        raise AssertionError(
+            f"tuner/grid MBE peak divergence: {tuner_peak} != {grid_peak}"
+        )
+
+    return {
+        **_report_meta("tune"),
+        "reduction_floor": TUNE_REDUCTION_FLOOR,
+        "decisions": {
+            "workloads": list(_TUNE_WORKLOADS),
+            "backends": list(_TUNE_BACKENDS),
+            "slos": list(_TUNE_SLOS),
+            "scale": _TUNE_SCALE,
+            "n_decisions": len(tuner_dec),
+            "configs_identical": True,
+            "grid": {"runs": grid_stats["runs"],
+                     "scalar_runs": grid_stats["scalar_runs"],
+                     "seconds": round(grid_best, 4)},
+            "tuner": {"runs": tuner_stats["runs"],
+                      "batches": tuner_stats["batches"],
+                      "model_points": tuner_stats["model_points"],
+                      "seconds": round(tuner_best, 4)},
+            "grid_runs": tuner_stats["grid_runs"],
+            "reduction": round(tuner_stats["grid_runs"]
+                               / max(1, tuner_stats["runs"]), 1),
+        },
+        "mbe": {
+            "peaks_identical": True,
+            "grid": {"cells": grid_cells, "seconds": round(grid_mbe_s, 4)},
+            "tuner": {"cells": tuner_cells, "seconds": round(tuner_mbe_s, 4)},
+            "reduction": round(grid_cells / max(1, tuner_cells), 1),
+        },
+    }
+
+
+def check_tune(report: dict, baseline_path: str) -> int:
+    """Gate the tuner's reduction, wall win, and deterministic counts."""
+    baseline = load_baseline(baseline_path, "tune")
+    if baseline is None:
+        return 2
+    failures = []
+    dec, mbe = report["decisions"], report["mbe"]
+    print(f"decisions: {dec['n_decisions']} decisions, tuner {dec['tuner']['runs']} "
+          f"runs vs grid reference {dec['grid_runs']} "
+          f"({dec['reduction']}x), wall {dec['tuner']['seconds']}s vs "
+          f"{dec['grid']['seconds']}s")
+    print(f"mbe: tuner {mbe['tuner']['cells']} cells vs grid "
+          f"{mbe['grid']['cells']} ({mbe['reduction']}x), wall "
+          f"{mbe['tuner']['seconds']}s vs {mbe['grid']['seconds']}s")
+    if dec["reduction"] < TUNE_REDUCTION_FLOOR:
+        failures.append(
+            f"decision reduction {dec['reduction']}x below the "
+            f"{TUNE_REDUCTION_FLOOR}x floor"
+        )
+    if dec["tuner"]["seconds"] > dec["grid"]["seconds"]:
+        failures.append(
+            f"tuner wall {dec['tuner']['seconds']}s exceeds grid "
+            f"{dec['grid']['seconds']}s"
+        )
+    # run counts are deterministic: any drift vs the checked-in baseline
+    # means the search visited different points and needs review
+    base_dec = baseline["decisions"]
+    for side, key in (("tuner", "runs"), ("tuner", "batches"),
+                      ("grid", "runs")):
+        got, want = dec[side][key], base_dec[side][key]
+        if got != want:
+            failures.append(f"decisions.{side}.{key} {got} != baseline {want}")
+    if dec["grid_runs"] != base_dec["grid_runs"]:
+        failures.append(f"decisions.grid_runs {dec['grid_runs']} != "
+                        f"baseline {base_dec['grid_runs']}")
+    for side in ("tuner", "grid"):
+        got = mbe[side]["cells"]
+        want = baseline["mbe"][side]["cells"]
+        if got != want:
+            failures.append(f"mbe.{side}.cells {got} != baseline {want}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("tune gates ok")
+    return 0
+
+
 # -- lint suite --------------------------------------------------------------
 
 def bench_lint(repeats: int) -> dict:
@@ -516,7 +713,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("reuse", "replay", "injected", "replay-mt",
-                                 "lint"),
+                                 "lint", "tune"),
                         default="reuse")
     parser.add_argument("--out", default=None,
                         help="report path (default BENCH_<suite>.json)")
@@ -575,6 +772,10 @@ def main(argv: list[str] | None = None) -> int:
             rc = check_lint_budget(report)
             if rc:
                 return rc
+    elif args.suite == "tune":
+        report = bench_tune(args.repeats)
+        if args.check:
+            return check_tune(report, out)
     else:
         pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
         vector = bench_kernel(_warm_distances_vector, pages, args.repeats)

@@ -47,12 +47,15 @@ __all__ = [
     "trace_key",
     "features_key",
     "replay_key",
+    "tune_key",
     "load_trace",
     "store_trace",
     "load_features",
     "store_features",
     "load_replay",
     "store_replay",
+    "load_tune_point",
+    "store_tune_point",
 ]
 
 _LAYOUT = "v1"
@@ -258,6 +261,69 @@ def load_replay(trace_digest: str, capacity: int, active_ratio: float):
     kwargs = {name: np.ascontiguousarray(arrays[name]) for name in _REPLAY_ARRAYS}
     kwargs.update({name: int(arrays[name]) for name in _REPLAY_SCALARS})
     return ReplayClassification(**kwargs)
+
+
+# -- tuner-validated candidate points ----------------------------------------
+
+def tune_key(trace_digest: str, backend: str, local_pages: int,
+             far_ratio: float, config) -> dict:
+    """Cache key of one replay-validated tuner candidate.
+
+    Content-addressed by the trace bytes plus the **full** configuration
+    tuple the measurement depends on — granularity, I/O width, far ratio
+    (and the local_pages it resolves to), placement (path + channel mode +
+    co-tenants), readahead/merge knobs, completion mode, backend, and the
+    replay/kernel engine versions — so validations dedupe across
+    experiments and repeated tuning runs, and never alias across configs.
+    """
+    from repro.swap.replay import REPLAY_VERSION
+    from repro.tune.validate import VALIDATE_VERSION
+
+    return {
+        "trace_digest": trace_digest,
+        "backend": backend,
+        "local_pages": local_pages,
+        "far_ratio": far_ratio,
+        "granularity": config.granularity,
+        "io_width": config.io_width,
+        "readahead_pages": config.readahead_pages,
+        "max_readahead_pages": config.max_readahead_pages,
+        "merge_pages": config.merge_pages,
+        "path": str(config.path),
+        "channel": str(config.channel),
+        "co_tenants": config.co_tenants,
+        "synchronous_faults": config.synchronous_faults,
+        "kernel_version": KERNEL_VERSION,
+        "replay_version": REPLAY_VERSION,
+        "validate_version": VALIDATE_VERSION,
+    }
+
+
+_TUNE_SCALARS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+                 "swap_outs", "clean_drops", "file_skips")
+
+
+def store_tune_point(trace_digest: str, backend: str, local_pages: int,
+                     far_ratio: float, config, result) -> None:
+    """Persist one validated candidate's measured counters and time."""
+    arrays = {name: np.int64(getattr(result, name)) for name in _TUNE_SCALARS}
+    arrays["sim_time"] = np.float64(result.sim_time)
+    _store("tune", tune_key(trace_digest, backend, local_pages, far_ratio, config),
+           arrays)
+
+
+def load_tune_point(trace_digest: str, backend: str, local_pages: int,
+                    far_ratio: float, config) -> dict | None:
+    """Load one validated candidate's measurement, or None on a miss."""
+    names = _TUNE_SCALARS + ("sim_time",)
+    arrays = _load("tune",
+                   tune_key(trace_digest, backend, local_pages, far_ratio, config),
+                   names)
+    if arrays is None:
+        return None
+    out = {name: int(arrays[name]) for name in _TUNE_SCALARS}
+    out["sim_time"] = float(arrays["sim_time"])
+    return out
 
 
 # -- management --------------------------------------------------------------

@@ -8,6 +8,7 @@ Subcommands::
     xdm-repro workloads                 # Table V with fused characteristics
     xdm-repro replay bert [--engine both] [--backend ssd] [--tenants N]
     xdm-repro replay bert --inject plan.json  # fault-injected replay
+    xdm-repro tune bert [--slo 1.5 | --fm-ratio R] [--backend rdma]
     xdm-repro cache info|clear          # persistent artifact cache
     xdm-repro lint [paths...]           # simlint static analysis (repro-lint)
 
@@ -24,6 +25,15 @@ device and reports per-tenant diffs plus the max sim_time relative error
 (counters must match exactly; times agree to the windowed-admission
 model).  The same selection is available to every experiment via
 ``REPRO_REPLAY``.
+
+``tune`` runs the cost-model-driven configuration search for one
+workload: with ``--slo`` it finds the largest far-memory ratio meeting
+the runtime budget (batched bisection), otherwise it prices the
+granularity × I/O-width lattice at a fixed ratio (one vectorized batch).
+It prints the chosen configuration, the candidate trace, the
+simulated-run ledger vs the exhaustive grid reference, and — unless
+``--no-validate`` — replay-validates a shortlist through successive
+halving with content-addressed caching.
 
 Result tables go to stdout; per-experiment wall time and cache-hit counts
 go to stderr, so stdout is byte-identical across serial/parallel runs and
@@ -177,6 +187,108 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.config import xdm_config
+    from repro.core.console import SmartConsole
+    from repro.devices.registry import BackendKind, make_device
+    from repro.simcore import Simulator
+    from repro.swap.pathmodel import SwapPathModel
+    from repro.tune.search import Candidate, TuneStats, select_config, slo_bisection
+    from repro.tune.validate import validate_shortlist
+    from repro.units import PAGE_SIZE
+
+    if args.workload not in TABLE_V:
+        print(f"unknown workload {args.workload!r}; see 'xdm-repro workloads'",
+              file=sys.stderr)
+        return 2
+    kind = BackendKind(args.backend)
+    w = TABLE_V[args.workload]
+    features = w.features(args.scale, args.seed)
+    compute = w.compute_time(args.scale, args.seed)
+    sim = Simulator()
+    device = make_device(sim, kind)
+    console = SmartConsole()
+    par = w.spec.fault_parallelism
+    model = SwapPathModel(device, features, fault_parallelism=par)
+    g_cands = console.granularity_candidates(features)
+    w_cands = console.io_width_candidates(features, device, par)
+    stats = TuneStats()
+    candidates: list[Candidate] = []
+
+    if args.slo is not None:
+        found = slo_bisection(
+            model, template=xdm_config(), g_cands=g_cands, w_cands=w_cands,
+            compute_time=compute, budget=compute * args.slo,
+            max_ratio=console.limits.max_fm_ratio, objective=args.objective,
+            stats=stats, trace=candidates,
+        )
+        if found is None:
+            print(f"workload={args.workload} backend={kind}: no offload step "
+                  f"meets SLO {args.slo}")
+            _print_tune_trace(candidates, stats)
+            return 1
+        ratio, local, config, predicted = found
+    else:
+        ratio = args.fm_ratio
+        if ratio is None:
+            # console default: offload everything beyond the hot set
+            n_pages = max(1, features.mrc.n_pages)
+            hot = console.min_fm_ratio_local_pages(features)
+            ratio = min(console.limits.max_fm_ratio, max(0.0, 1.0 - hot / n_pages))
+        local = model.local_pages_for(ratio)
+        config, predicted = select_config(
+            model, local, g_cands, w_cands, template=xdm_config(),
+            objective=args.objective, stats=stats, trace=candidates,
+        )
+
+    print(f"workload={args.workload} backend={kind} "
+          f"lattice={len(g_cands)}x{len(w_cands)} objective={args.objective}")
+    print(f"chosen: granularity={config.granularity // PAGE_SIZE}p "
+          f"io_width={config.io_width} fm_ratio={ratio:.4f} local_pages={local}")
+    print(f"        predicted {args.objective}={getattr(predicted, args.objective):.6f}s "
+          f"stall_time={predicted.stall_time:.6f}s")
+    _print_tune_trace(candidates, stats)
+    if args.validate:
+        shortlist = [(config, local, ratio)]
+        # runner-up configs from the candidate trace, best-objective first
+        seen = {(config.granularity, config.io_width)}
+        for c in sorted(candidates, key=lambda c: c.objective):
+            gw = (c.granularity, c.io_width)
+            if gw not in seen:
+                seen.add(gw)
+                alt = xdm_config(granularity=c.granularity, io_width=c.io_width)
+                shortlist.append((alt, local, ratio))
+            if len(shortlist) == 3:
+                break
+        trace = w.trace(args.scale, args.seed)
+        points = validate_shortlist(trace, kind, shortlist, stats=stats,
+                                    max_accesses=args.max_accesses)
+        print(f"replay validation ({len(shortlist)} candidates, successive halving):")
+        for p in points:
+            mark = " <== chosen" if (p.config.granularity, p.config.io_width) == (
+                config.granularity, config.io_width) else ""
+            print(f"  g={p.config.granularity // PAGE_SIZE}p w={p.config.io_width} "
+                  f"prefix={p.prefix} sim_time={p.sim_time:.6f}s "
+                  f"faults={p.faults}{' (cached)' if p.cached else ''}{mark}")
+        print(f"  replay runs={stats.replay_runs} cache hits={stats.replay_cache_hits}")
+    return 0
+
+
+def _print_tune_trace(candidates, stats) -> None:
+    from repro.units import PAGE_SIZE
+
+    if candidates:
+        print(f"candidate trace ({len(candidates)} points):")
+        for c in candidates:
+            print(f"  [{c.stage}] g={c.granularity // PAGE_SIZE}p w={c.io_width} "
+                  f"local={c.local_pages} obj={c.objective:.6f}"
+                  f"{' *' if c.chosen else ''}")
+    s = stats.snapshot()
+    print(f"simulated runs: {s['runs']} ({s['batches']} batches pricing "
+          f"{s['model_points']} points, {s['scalar_runs']} scalar) "
+          f"vs grid reference {s['grid_runs']} — {stats.reduction():.1f}x fewer")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear_cache()
@@ -253,6 +365,30 @@ def main(argv: list[str] | None = None) -> int:
                                "single-tenant runs use the segmented hybrid "
                                "planner, multi-tenant runs force the event engine")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_tune = sub.add_parser(
+        "tune", help="cost-model-driven configuration search for one workload"
+    )
+    p_tune.add_argument("workload", help="Table V workload name")
+    p_tune.add_argument("--backend", default="rdma",
+                        help="far-memory backend kind (default rdma)")
+    group = p_tune.add_mutually_exclusive_group()
+    group.add_argument("--slo", type=float, default=None,
+                       help="runtime budget multiple; tunes the largest "
+                            "feasible far-memory ratio (batched bisection)")
+    group.add_argument("--fm-ratio", type=float, default=None,
+                       help="fixed far-memory ratio (default: console's "
+                            "hot-set-derived ratio)")
+    p_tune.add_argument("--objective", choices=("sys_time", "stall_time"),
+                        default="sys_time", help="predicted quantity to minimize")
+    p_tune.add_argument("--validate", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="replay-validate a shortlist (default on)")
+    p_tune.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_tune.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p_tune.add_argument("--max-accesses", type=int, default=100_000,
+                        help="replay-validation window (default 100000)")
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
     p_cache.add_argument("action", choices=("info", "clear"))

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["mbe", "mbe_improvement_grid", "best_thresholds"]
+__all__ = ["mbe", "mbe_cell", "mbe_improvement_grid", "best_thresholds", "tuned_thresholds"]
 
 
 def mbe(utilization: np.ndarray, alpha: float, beta: float) -> float:
@@ -43,6 +43,14 @@ def mbe(utilization: np.ndarray, alpha: float, beta: float) -> float:
     return min(gain_high, gain_low) * 2.0 if min(gain_high, gain_low) >= 0 else 0.0
 
 
+def mbe_cell(utilization: np.ndarray, alpha: float, beta: float) -> float:
+    """Snapshot-averaged MBE at one (alpha, beta) cell — the grid's unit."""
+    u = np.asarray(utilization, dtype=np.float64)
+    if u.ndim == 1:
+        u = u[None, :]
+    return float(np.mean([mbe(u[t], alpha, beta) for t in range(u.shape[0])]))
+
+
 def mbe_improvement_grid(
     utilization: np.ndarray,
     alphas: np.ndarray,
@@ -63,7 +71,7 @@ def mbe_improvement_grid(
         for j, b in enumerate(betas):
             if b < a:
                 continue
-            out[i, j] = float(np.mean([mbe(u[t], a, b) for t in range(u.shape[0])]))
+            out[i, j] = mbe_cell(u, a, b)
     return out
 
 
@@ -78,3 +86,58 @@ def best_thresholds(
         raise ConfigurationError("grid is entirely invalid (all beta < alpha?)")
     i, j = np.unravel_index(np.nanargmax(grid), grid.shape)
     return float(alphas[i]), float(betas[j]), float(grid[i, j])
+
+
+def tuned_thresholds(
+    utilization: np.ndarray,
+    alphas: np.ndarray,
+    betas: np.ndarray,
+    diagonal: np.ndarray | None = None,
+) -> tuple[float, float, float, int]:
+    """Search-driven twin of :func:`best_thresholds`.
+
+    Instead of evaluating every upper-triangle cell (twice, counting the
+    contour grid), this hill-climbs from the best diagonal cell using the
+    tuner's lattice search.  The MBE surface is ``2·min(h(beta), l(alpha))``
+    with ``l`` rising in alpha and ``h`` falling in beta, so the maximum
+    sits on or near the diagonal and steepest ascent from the diagonal's
+    peak reaches the grid argmax — equality with :func:`best_thresholds`
+    on the cluster traces is asserted in the tests.
+
+    ``diagonal`` optionally passes the alpha==beta values an experiment
+    already computed for its output rows, making those cells free.
+    Returns ``(alpha*, beta*, MBE*, new_evals)``.
+    """
+    from repro.tune.search import climb_lattice
+
+    alphas = np.asarray(alphas, dtype=np.float64)
+    betas = np.asarray(betas, dtype=np.float64)
+    if not np.array_equal(alphas, betas):
+        raise ConfigurationError(
+            "tuned_thresholds seeds its climb on the alpha==beta diagonal "
+            "and needs identical threshold axes"
+        )
+    u = np.asarray(utilization, dtype=np.float64)
+    if u.ndim == 1:
+        u = u[None, :]
+    memo: dict[tuple[int, int], float] = {}
+    evals = 0
+    if diagonal is not None:
+        diagonal = np.asarray(diagonal, dtype=np.float64)
+        for i, v in enumerate(diagonal):
+            memo[(i, i)] = float(v)
+        seed_i = int(np.argmax(diagonal))
+    else:
+        diag = [mbe_cell(u, float(t), float(t)) for t in alphas]
+        evals += len(diag)
+        for i, v in enumerate(diag):
+            memo[(i, i)] = v
+        seed_i = int(np.argmax(diag))
+    (i, j), peak, climb_evals = climb_lattice(
+        lambda i, j: mbe_cell(u, float(alphas[i]), float(betas[j])),
+        shape=(alphas.size, betas.size),
+        seed=(seed_i, seed_i),
+        valid=lambda i, j: betas[j] >= alphas[i],
+        memo=memo,
+    )
+    return float(alphas[i]), float(betas[j]), peak, evals + climb_evals

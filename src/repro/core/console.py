@@ -31,6 +31,7 @@ from repro.mem.numa_policy import NUMAPlacement
 from repro.mem.thp import THPPolicy
 from repro.swap.pathmodel import SwapConfig, SwapCost, SwapPathModel
 from repro.trace.fusion import PageFeatures
+from repro.tune.search import TuneStats, select_config, slo_bisection, tune_mode
 from repro.units import PAGE_SIZE
 
 __all__ = ["ConfigDecision", "SmartConsole"]
@@ -71,6 +72,28 @@ class SmartConsole:
         self.limits = limits or TunableLimits()
         self.thp = thp or THPPolicy()
         self.slo_hit_ratio = slo_hit_ratio
+        #: simulated-run ledger across every decision this console makes
+        #: (scalar grid evaluations vs vectorized batches vs replays)
+        self.stats = TuneStats()
+
+    def fingerprint(self) -> tuple:
+        """Everything a decision depends on besides its call arguments.
+
+        Memoizing callers (fig16's SLO-search memo) key on this so a
+        console with different limits/THP/SLO tunables — or a different
+        ``REPRO_TUNE`` mode — never aliases another console's decisions.
+        """
+        return (
+            self.limits.max_fm_ratio,
+            self.limits.max_io_channels,
+            self.limits.min_page_size,
+            self.limits.max_page_size,
+            self.thp.min_fragment_ratio,
+            self.thp.tlb_benefit,
+            self.thp.reclaim_penalty,
+            self.slo_hit_ratio,
+            tune_mode(),
+        )
 
     # -- individual knobs -------------------------------------------------
     def granularity_candidates(self, features: PageFeatures) -> list[int]:
@@ -139,21 +162,36 @@ class SmartConsole:
             self.limits.validate_fm_ratio(fm_ratio)
         local_pages = model.local_pages_for(fm_ratio)
 
-        best: tuple[SwapConfig, SwapCost] | None = None
-        for g in self.granularity_candidates(features):
-            for w in self.io_width_candidates(features, device, fault_parallelism):
-                config = xdm_config(granularity=g, io_width=w, co_tenants=co_tenants)
-                cost = model.cost(local_pages, config)
-                key = getattr(cost, objective)
-                if best is None or key < getattr(best[1], objective):
-                    best = (config, cost)
-        assert best is not None  # candidate lists are never empty
+        g_cands = self.granularity_candidates(features)
+        w_cands = self.io_width_candidates(features, device, fault_parallelism)
+        if tune_mode() == "grid":
+            # exhaustive reference: one scalar model run per lattice point
+            best: tuple[SwapConfig, SwapCost] | None = None
+            for g in g_cands:
+                for w in w_cands:
+                    config = xdm_config(granularity=g, io_width=w, co_tenants=co_tenants)
+                    cost = model.cost(local_pages, config)
+                    self.stats.scalar_runs += 1
+                    self.stats.grid_runs += 1
+                    key = getattr(cost, objective)
+                    if best is None or key < getattr(best[1], objective):
+                        best = (config, cost)
+            assert best is not None  # candidate lists are never empty
+            chosen, predicted = best
+        else:
+            # tuner: the whole lattice priced in one vectorized batch —
+            # same scan order and tie-break, bit-identical choice
+            chosen, predicted = select_config(
+                model, local_pages, g_cands, w_cands,
+                template=xdm_config(co_tenants=co_tenants),
+                objective=objective, stats=self.stats,
+            )
         return ConfigDecision(
-            config=best[0],
+            config=chosen,
             fm_ratio=fm_ratio,
             local_pages=local_pages,
             numa_placement=self.numa_placement(numa_sensitivity),
-            predicted=best[1],
+            predicted=predicted,
         )
 
     def max_offload_under_slo(
@@ -176,6 +214,31 @@ class SmartConsole:
         if compute_time <= 0:
             raise ConfigurationError("compute_time must be positive")
         budget = compute_time * slo
+        if tune_mode() != "grid":
+            # tuner: the whole bisection tree priced in two batches — same
+            # midpoint sequence, argmins, and feasibility booleans as the
+            # scalar reference below (see tune.search.slo_bisection)
+            model = SwapPathModel(device, features, fault_parallelism=fault_parallelism)
+            found = slo_bisection(
+                model,
+                template=xdm_config(),
+                g_cands=self.granularity_candidates(features),
+                w_cands=self.io_width_candidates(features, device, fault_parallelism),
+                compute_time=compute_time,
+                budget=budget,
+                max_ratio=self.limits.max_fm_ratio,
+                stats=self.stats,
+            )
+            if found is None:
+                return 0.0, None
+            ratio, local_pages, config, predicted = found
+            return ratio, ConfigDecision(
+                config=config,
+                fm_ratio=ratio,
+                local_pages=local_pages,
+                numa_placement=self.numa_placement(0.5),
+                predicted=predicted,
+            )
         lo_ok: tuple[float, ConfigDecision] | None = None
         # binary search on the ratio grid (runtime is monotone in ratio)
         lo, hi = 0.0, self.limits.max_fm_ratio

@@ -35,30 +35,39 @@ def _task_mix(fraction: float) -> list[str]:
 
 
 def _offload_for(
-    ctx: ExperimentContext, name: str, slo: float,
+    ctx: ExperimentContext, name: str, slo: float | None,
     _memo: dict[tuple, tuple[float, float]] = {},  # simlint: ignore[PY001] -- deliberate per-process memo
 ) -> tuple[float, float]:
     """(offload ratio, runtime factor) for one task under one SLO.
 
-    Deterministic in (name, slo) for a given context scale, and the task
-    mixes repeat the same dozen workloads 24 times per cell — so the SLO
-    search runs once per distinct pair.
+    Deterministic in its key, and the task mixes repeat the same dozen
+    workloads 24 times per cell — so the SLO search runs once per distinct
+    pair.  The key covers **every** input the result depends on: workload
+    name, the SLO (``None`` — the no-FM baseline with no offload at all —
+    is a distinct value, not a missing one), the context's scale and seed
+    (they select the trace), and the console fingerprint (tunable limits,
+    THP policy, SLO hit ratio, and ``REPRO_TUNE`` mode all steer the
+    search).  A memo hit is byte-for-byte the cold result — regression
+    test in ``tests/test_tune_experiments.py``.
     """
-    key = (name, slo, ctx.scale, ctx.seed)
+    key = (name, slo, ctx.scale, ctx.seed, ctx.console.fingerprint())
     if key in _memo:
         return _memo[key]
-    w = ctx.workload(name)
-    f = ctx.features(name)
-    compute = ctx.compute_time(name)
-    ratio, decision = ctx.console.max_offload_under_slo(
-        f, ctx.device(BackendKind.RDMA), compute, slo,
-        fault_parallelism=w.spec.fault_parallelism,
-    )
-    if decision is None:
+    if slo is None:
         result = 0.0, 1.0
     else:
-        runtime_factor = 1.0 + decision.predicted.stall_time / compute
-        result = ratio, min(runtime_factor, slo)
+        w = ctx.workload(name)
+        f = ctx.features(name)
+        compute = ctx.compute_time(name)
+        ratio, decision = ctx.console.max_offload_under_slo(
+            f, ctx.device(BackendKind.RDMA), compute, slo,
+            fault_parallelism=w.spec.fault_parallelism,
+        )
+        if decision is None:
+            result = 0.0, 1.0
+        else:
+            runtime_factor = 1.0 + decision.predicted.stall_time / compute
+            result = ratio, min(runtime_factor, slo)
     _memo[key] = result
     return result
 

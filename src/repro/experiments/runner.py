@@ -29,6 +29,7 @@ from repro.experiments import (
     fig18,
     fig19,
     online_study,
+    phase_tuning,
     replay_validation,
     table06,
     table07,
@@ -66,6 +67,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "online_study": online_study.run,
     "tier_study": tier_study.run,
     "failover_study": failover_study.run,
+    "phase_tuning": phase_tuning.run,
 }
 
 

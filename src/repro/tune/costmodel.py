@@ -1,0 +1,358 @@
+"""Vectorized swap-cost model: whole candidate batches in one numpy pass.
+
+:class:`VectorCostModel` promotes :class:`~repro.swap.pathmodel.SwapPathModel`
+to a batch evaluator: one call prices an arbitrary array of
+``(local_pages, granularity, io_width)`` candidates against a shared
+structural template (path, channel, readahead, co-tenants), returning a
+:class:`CostBatch` of per-candidate :class:`~repro.swap.pathmodel.SwapCost`
+columns.  This is the MATCH/ZigZag shape the tuner is built on — the
+analytic model prices the whole design space for the cost of roughly one
+scalar evaluation, and expensive replay simulation only validates a
+shortlist (see :mod:`repro.tune.search`).
+
+Fidelity contract: batch evaluation is **bit-identical** to calling
+``SwapPathModel.cost`` per candidate.  Anything that depends only on a
+*distinct* granularity or I/O width — device latencies, occupancies,
+bandwidths, cluster factors — is computed through the exact scalar device
+and model methods (one call per distinct value, preserving device-subclass
+overrides), then gathered into per-candidate columns; the remaining
+arithmetic mirrors the scalar expression order operation for operation, so
+IEEE-754 results match to the last bit.  ``tests/test_tune_costmodel.py``
+asserts the equality field by field, including under Hypothesis-random
+features and templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.swap.channel import ChannelMode, SHARED_LRU_INTERFERENCE, VM_ISOLATION_TAX
+from repro.swap.pathmodel import (
+    CONTEXT_SWITCH_COST,
+    FAULT_COST,
+    HIERARCHY_COPY_COST,
+    MINOR_FAULT_COST,
+    PathType,
+    POLL_THRESHOLD,
+    SHARED_QUEUE_FACTOR,
+    SwapConfig,
+    SwapCost,
+    SwapPathModel,
+    _cluster,
+)
+from repro.units import PAGE_SIZE
+
+__all__ = ["CostBatch", "VectorCostModel", "OBJECTIVES"]
+
+#: Predicted quantities a search may minimize (the console's objectives).
+OBJECTIVES = ("sys_time", "stall_time")
+
+#: SwapCost columns carried by a batch, in dataclass field order.
+_COLUMNS = (
+    "misses", "blocking_faults", "ops_in", "ops_out", "bytes_in",
+    "bytes_out", "sys_time", "stall_time", "per_op_latency", "t_in",
+    "t_out", "fault_time",
+)
+
+
+@dataclass(frozen=True)
+class CostBatch:
+    """Columnar :class:`SwapCost` for N candidates (one array per field)."""
+
+    local_pages: np.ndarray   #: int64 (N,) residency per candidate
+    granularity: np.ndarray   #: int64 (N,) configured bytes/op per candidate
+    io_width: np.ndarray      #: int64 (N,) configured channels per candidate
+    misses: np.ndarray
+    blocking_faults: np.ndarray
+    ops_in: np.ndarray
+    ops_out: np.ndarray
+    bytes_in: np.ndarray
+    bytes_out: np.ndarray
+    sys_time: np.ndarray      # simlint: dim[sys_time=seconds]
+    stall_time: np.ndarray    # simlint: dim[stall_time=seconds]
+    per_op_latency: np.ndarray
+    t_in: np.ndarray
+    t_out: np.ndarray
+    fault_time: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.sys_time.shape[0])
+
+    def objective(self, name: str) -> np.ndarray:
+        """The column a search minimizes (``sys_time`` or ``stall_time``)."""
+        if name not in OBJECTIVES:
+            raise ConfigurationError(f"unknown objective {name!r}")
+        return getattr(self, name)
+
+    def cost(self, i: int) -> SwapCost:
+        """The exact scalar :class:`SwapCost` of candidate ``i``."""
+        return SwapCost(
+            misses=int(self.misses[i]),
+            blocking_faults=float(self.blocking_faults[i]),
+            ops_in=float(self.ops_in[i]),
+            ops_out=float(self.ops_out[i]),
+            bytes_in=float(self.bytes_in[i]),
+            bytes_out=float(self.bytes_out[i]),
+            sys_time=float(self.sys_time[i]),
+            stall_time=float(self.stall_time[i]),
+            per_op_latency=float(self.per_op_latency[i]),
+            t_in=float(self.t_in[i]),
+            t_out=float(self.t_out[i]),
+            fault_time=float(self.fault_time[i]),
+        )
+
+    def argmin(self, name: str) -> int:
+        """First index minimizing ``name`` — the exhaustive grid's pick.
+
+        The reference grid scans candidates in construction order and keeps
+        a candidate only on *strict* improvement, so ties resolve to the
+        earliest candidate; ``np.argmin`` returns the first occurrence of
+        the minimum, which is the same rule.
+        """
+        return int(np.argmin(self.objective(name)))
+
+
+class VectorCostModel:
+    """Batched twin of :class:`SwapPathModel` for one (workload, device).
+
+    ``template`` fixes the structural knobs the search does not vary
+    (path, channel mode, co-tenants, readahead, merge, completion mode);
+    :meth:`evaluate` broadcasts the searched axes over it.
+    """
+
+    def __init__(self, model: SwapPathModel, template: SwapConfig) -> None:
+        self.model = model
+        self.template = template
+        f = model.features
+        # shared-channel LRU interference inflates faults (scalar path)
+        self._interference = 1.0
+        if template.channel is ChannelMode.SHARED:
+            self._interference += SHARED_LRU_INTERFERENCE * template.co_tenants
+        # stream-switch-degraded sequential ratio and bio merging are
+        # template properties: identical for every candidate in a batch
+        self._seq_pf = f.seq_access_ratio * (1.0 - 0.8 * f.interleave_ratio)
+        merged_pages = 1.0 + self._seq_pf * (template.merge_pages - 1)
+        self._merged_floor = int(merged_pages * PAGE_SIZE)
+        # channel-mode and path taxes on per-op costs
+        tax = 1.0
+        if template.channel is ChannelMode.VM_ISOLATED:
+            tax += VM_ISOLATION_TAX
+        if template.channel is ChannelMode.SHARED and template.co_tenants > 0:
+            tax += SHARED_QUEUE_FACTOR * template.co_tenants
+        self._tax = tax
+        self._hop = 2.0 if template.path is PathType.HIERARCHICAL else 1.0
+        self._extra = (
+            HIERARCHY_COPY_COST if template.path is PathType.HIERARCHICAL else 0.0
+        )
+        self._g_tables: dict[int, tuple] = {}
+        self._w_tables: dict[int, tuple] = {}
+        self._idle: dict[int, float] = {}
+
+    # -- per-distinct-value tables (exact scalar calls) --------------------
+    def _g_table(self, g: int) -> tuple:
+        """(cluster, major_div, map_mult, lat_in, occ_in, occ_out, g_pages)."""
+        hit = self._g_tables.get(g)
+        if hit is not None:
+            return hit
+        model, f, t = self.model, self.model.features, self.template
+        g_pages = g / PAGE_SIZE
+        cluster = model._granularity_cluster(g_pages)
+        window = t.readahead_pages + self._seq_pf * (
+            t.max_readahead_pages - t.readahead_pages
+        )
+        window = max(window, g_pages)
+        major_div = max(_cluster(window, self._seq_pf), _cluster(g_pages, f.seq_access_ratio))
+        map_mult = _cluster(g_pages, f.seq_access_ratio)
+        dev = model.device
+        lat_in = dev.transfer_latency(g, write=False, granularity=g, io_width=1)
+        lat_in = lat_in * self._tax * self._hop + self._extra
+        occ_in = dev.op_occupancy(write=False, granularity=g) * self._tax * self._hop + self._extra
+        occ_out = dev.op_occupancy(write=True, granularity=g) * self._tax * self._hop + self._extra
+        entry = (cluster, major_div, map_mult, lat_in, occ_in, occ_out, g_pages)
+        self._g_tables[g] = entry
+        return entry
+
+    def _w_table(self, w: int) -> tuple:
+        """(effective width, read bandwidth, write bandwidth) at width ``w``."""
+        hit = self._w_tables.get(w)
+        if hit is not None:
+            return hit
+        model = self.model
+        width = float(min(w, model.fault_parallelism, model.device.profile.channels))
+        bw_in = model.device.effective_bandwidth(False, w)
+        bw_out = model.device.effective_bandwidth(True, w)
+        entry = (width, bw_in, bw_out)
+        self._w_tables[w] = entry
+        return entry
+
+    def _idle_latency(self, granularity: int) -> float:
+        hit = self._idle.get(granularity)
+        if hit is None:
+            hit = self.model.device.page_latency(granularity=granularity)
+            self._idle[granularity] = hit
+        return hit
+
+    # -- the batch evaluation ---------------------------------------------
+    def evaluate(self, local_pages, granularity, io_width) -> CostBatch:
+        """Price every candidate row; inputs broadcast against each other."""
+        local, g_cfg, w_cfg = np.broadcast_arrays(
+            np.asarray(local_pages, dtype=np.int64).ravel(),
+            np.asarray(granularity, dtype=np.int64).ravel(),
+            np.asarray(io_width, dtype=np.int64).ravel(),
+        )
+        local = np.ascontiguousarray(local)
+        g_cfg = np.ascontiguousarray(g_cfg)
+        w_cfg = np.ascontiguousarray(w_cfg)
+        n = local.shape[0]
+        model, f = self.model, self.model.features
+
+        # misses: capacity misses at each residency, inflated by shared-LRU
+        # interference and integer-rounded exactly like the scalar model
+        base = f.mrc.misses_at(local) - f.mrc.cold_misses
+        misses = np.rint(base * self._interference).astype(np.int64)
+        m = misses.astype(np.float64)
+
+        # effective granularity after bio merging, then per-distinct tables
+        g_eff = np.maximum(g_cfg, self._merged_floor)
+        uniq_g, g_idx = np.unique(g_eff, return_inverse=True)
+        tables = [self._g_table(int(g)) for g in uniq_g]
+        cluster = np.array([t[0] for t in tables])[g_idx]
+        major_div = np.array([t[1] for t in tables])[g_idx]
+        map_mult = np.array([t[2] for t in tables])[g_idx]
+        lat_in = np.array([t[3] for t in tables])[g_idx]
+        occ_in = np.array([t[4] for t in tables])[g_idx]
+        occ_out = np.array([t[5] for t in tables])[g_idx]
+        g_bytes = g_eff.astype(np.float64)
+
+        uniq_w, w_idx = np.unique(w_cfg, return_inverse=True)
+        wtabs = [self._w_table(int(w)) for w in uniq_w]
+        width = np.array([t[0] for t in wtabs])[w_idx]
+        bw_in = np.array([t[1] for t in wtabs])[w_idx]
+        bw_out = np.array([t[2] for t in wtabs])[w_idx]
+
+        # traffic terms — expression order mirrors SwapPathModel.cost
+        ops_in = m / cluster
+        bytes_in = ops_in * g_bytes
+        dirty_ratio = 1.0 - f.load_ratio
+        ops_out = m * dirty_ratio / cluster
+        bytes_out = ops_out * g_bytes
+        major = m / major_div
+        mapped = major * map_mult
+        minor = np.maximum(0.0, m - mapped)
+
+        hop = self._hop
+        link_bw = None
+        if model.device.link is not None:
+            link_bw = model.device.link.bandwidth
+
+        def stream_time(ops, occ, nbytes, bw):  # simlint: dim[return=seconds, occ=seconds]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t = ops * occ / np.minimum(width, ops)
+            t = np.maximum(t, nbytes * hop / bw)
+            if link_bw is not None:
+                t = np.maximum(t, nbytes * hop / link_bw)
+            return np.where(ops > 0, t, 0.0)
+
+        t_in = stream_time(ops_in, occ_in, bytes_in, bw_in)
+        t_out = stream_time(ops_out, occ_out, bytes_out, bw_out)
+
+        wait_charge = np.where(lat_in <= POLL_THRESHOLD, lat_in, CONTEXT_SWITCH_COST)
+        if not self.template.synchronous_faults:
+            wait_charge = wait_charge / width
+        fault_time = major * (FAULT_COST + wait_charge) + minor * MINOR_FAULT_COST
+        sys_time = fault_time + t_in + 0.5 * t_out
+        stall_time = np.maximum(
+            (major * (FAULT_COST + lat_in) + minor * MINOR_FAULT_COST) / width,
+            t_in + 0.5 * t_out,
+        )
+
+        # miss-free candidates short-circuit to the all-zero cost whose
+        # per_op_latency is the idle page latency at the *configured*
+        # granularity (pre-merge), exactly like the scalar early return
+        zero = misses == 0
+        if zero.any():
+            idle = np.array([self._idle_latency(int(g)) for g in np.unique(g_cfg)])
+            idle = idle[np.unique(g_cfg, return_inverse=True)[1]]
+            per_op = np.where(zero, idle, lat_in)
+            out = {}
+            for name, arr in (
+                ("blocking_faults", major), ("ops_in", ops_in),
+                ("ops_out", ops_out), ("bytes_in", bytes_in),
+                ("bytes_out", bytes_out), ("sys_time", sys_time),
+                ("stall_time", stall_time), ("t_in", t_in),
+                ("t_out", t_out), ("fault_time", fault_time),
+            ):
+                out[name] = np.where(zero, 0.0, arr)
+        else:
+            per_op = lat_in
+            out = {
+                "blocking_faults": major, "ops_in": ops_in,
+                "ops_out": ops_out, "bytes_in": bytes_in,
+                "bytes_out": bytes_out, "sys_time": sys_time,
+                "stall_time": stall_time, "t_in": t_in,
+                "t_out": t_out, "fault_time": fault_time,
+            }
+
+        assert len(out["sys_time"]) == n
+        return CostBatch(
+            local_pages=local,
+            granularity=g_cfg,
+            io_width=w_cfg,
+            misses=misses,
+            per_op_latency=per_op,
+            **out,
+        )
+
+    # -- sensitivity probes -------------------------------------------------
+    def sensitivities(
+        self,
+        local_pages: int,
+        config: SwapConfig,
+        objective: str = "sys_time",
+        rel_step: float = 0.25,
+    ) -> dict[str, float]:
+        """Finite-difference sensitivity of ``objective`` at one point.
+
+        Returns relative derivatives d(log objective)/d(log knob) for the
+        three searched axes plus the cost-term shares at the point — the
+        console's "which knob matters here" diagnostic.  A knob whose
+        perturbed value collapses to the same lattice point (e.g. width 1
+        stepping below 1) reports 0.0.
+        """
+        if objective not in OBJECTIVES:
+            raise ConfigurationError(f"unknown objective {objective!r}")
+        if not 0.0 < rel_step < 1.0:
+            raise ConfigurationError(f"rel_step must be in (0,1), got {rel_step}")
+        g0, w0 = config.granularity, config.io_width
+        probes = [
+            (local_pages, g0, w0),
+            (max(1, int(local_pages * (1.0 + rel_step))), g0, w0),
+            (local_pages, max(PAGE_SIZE, g0 * 2), w0),
+            (local_pages, g0, w0 * 2),
+        ]
+        locs, gs, ws = (np.array(a) for a in zip(*probes))
+        batch = self.evaluate(locs, gs, ws)
+        obj = batch.objective(objective)
+        base = float(obj[0])
+
+        def rel(i: int, knob0: float, knob1: float) -> float:
+            if base <= 0.0 or knob1 == knob0:
+                return 0.0
+            dlog_knob = np.log(knob1 / knob0)
+            dlog_obj = np.log(max(float(obj[i]), 1e-300) / base)
+            return float(dlog_obj / dlog_knob)
+
+        total = base if base > 0 else 1.0
+        c0 = batch.cost(0)
+        return {
+            "objective": base,
+            "d_local_pages": rel(1, local_pages, int(probes[1][0])),
+            "d_granularity": rel(2, g0, int(probes[2][1])),
+            "d_io_width": rel(3, w0, int(probes[3][2])),
+            "share_fault_time": c0.fault_time / total,
+            "share_t_in": c0.t_in / total,
+            "share_t_out": 0.5 * c0.t_out / total,
+        }

@@ -1,0 +1,117 @@
+"""Experiment-level tuner guarantees: identical output, ≥10× fewer runs.
+
+Every experiment that routes configuration decisions through the tuner
+must produce **identical rows and metrics** (excluding the ``tune_*`` run
+ledger) under ``REPRO_TUNE=model`` and ``REPRO_TUNE=grid``, while the
+ledger shows the ≥10× simulated-run reduction on the decision-heavy
+experiments.  Also pins the fig16 SLO-search memo: a hit must be
+byte-for-byte the cold result and spend zero additional console runs.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentContext
+from repro.tune import TUNE_ENV
+
+__all__: list[str] = []
+
+SCALE = 0.15
+SEED = 3
+
+#: experiments whose configuration decisions flow through the tuner
+TUNED = ["fig08", "fig16", "fig19", "ablation", "tier_study", "cxl_study",
+         "phase_tuning"]
+
+#: experiments reporting the run ledger in their metrics, with the floor
+#: their reduction must clear (fig19's tuner burns a diagonal the grid
+#: also prints, so its floor is the surface-to-climb ratio rather than
+#: the batching ratio)
+REDUCTION_FLOOR = {"phase_tuning": 10.0, "fig19": 5.0}
+
+
+def _run(name, mode, monkeypatch):
+    monkeypatch.setenv(TUNE_ENV, mode)
+    ctx = ExperimentContext(scale=SCALE, seed=SEED)
+    return EXPERIMENTS[name](ctx), ctx
+
+
+@pytest.mark.parametrize("name", TUNED)
+def test_tuner_reproduces_grid_outputs(name, monkeypatch):
+    grid, grid_ctx = _run(name, "grid", monkeypatch)
+    model, model_ctx = _run(name, "model", monkeypatch)
+    assert model.rows == grid.rows
+    strip = lambda m: {k: v for k, v in m.items() if not k.startswith("tune_")}
+    assert strip(model.metrics) == strip(grid.metrics)
+    floor = REDUCTION_FLOOR.get(name)
+    if floor is not None:
+        assert model.metrics["tune_runs"] > 0
+        reduction = model.metrics["tune_grid_runs"] / model.metrics["tune_runs"]
+        assert reduction >= floor, (name, model.metrics)
+    # console-mediated experiments: the shared ledger shows the same story
+    if name not in ("fig19",):
+        stats = model_ctx.console.stats
+        if stats.grid_runs:
+            assert stats.reduction() >= 10.0, stats.snapshot()
+            assert stats.scalar_runs == 0  # tuner never falls back to scalar
+
+
+def test_console_ledger_counts_grid_reference(monkeypatch):
+    # in grid mode the ledger's spent == reference: reduction is exactly 1
+    _, ctx = _run("fig08", "grid", monkeypatch)
+    stats = ctx.console.stats
+    assert stats.grid_runs == stats.scalar_runs > 0
+    assert stats.batches == 0
+
+
+def test_fig16_memo_hit_is_byte_for_byte(monkeypatch):
+    from repro.experiments.fig16 import _offload_for
+
+    monkeypatch.setenv(TUNE_ENV, "model")
+    ctx = ExperimentContext(scale=SCALE, seed=SEED)
+    # an SLO no other test or experiment uses: the process-wide memo must
+    # be cold here so the hit/no-spend assertions actually bite
+    cold = _offload_for(ctx, "lg-bfs", 1.43)
+    runs_after_cold = ctx.console.stats.runs
+    assert runs_after_cold > 0
+    warm = _offload_for(ctx, "lg-bfs", 1.43)
+    assert warm == cold
+    assert ctx.console.stats.runs == runs_after_cold  # hit spends nothing
+    # slo=None is a distinct memoized key, not a missing argument
+    none_slo = _offload_for(ctx, "lg-bfs", None)
+    assert none_slo == (0.0, 1.0)
+    assert ctx.console.stats.runs == runs_after_cold
+    assert _offload_for(ctx, "lg-bfs", None) == none_slo
+
+
+def test_fig16_memo_keys_on_console_fingerprint(monkeypatch):
+    from repro.experiments.fig16 import _offload_for
+
+    monkeypatch.setenv(TUNE_ENV, "model")
+    ctx = ExperimentContext(scale=SCALE, seed=SEED)
+    before = ctx.console.stats.runs
+    _offload_for(ctx, "lg-bc", 1.37)  # unique SLO: memo is cold (see above)
+    spent_model = ctx.console.stats.runs - before
+    assert spent_model > 0
+    # same args under a different REPRO_TUNE mode must NOT alias the memo
+    monkeypatch.setenv(TUNE_ENV, "grid")
+    ctx2 = ExperimentContext(scale=SCALE, seed=SEED)
+    before = ctx2.console.stats.runs
+    _offload_for(ctx2, "lg-bc", 1.37)
+    assert ctx2.console.stats.runs - before > spent_model  # grid re-ran it
+
+
+def test_phase_tuning_reports_gain_and_validation(monkeypatch):
+    monkeypatch.setenv(TUNE_ENV, "model")
+    ctx = ExperimentContext(scale=SCALE, seed=SEED)
+    res = EXPERIMENTS["phase_tuning"](ctx)
+    # per-phase consoles never offload less on average than whole-trace
+    assert res.metrics["mean_phase_offload_gain"] >= 0.0
+    assert res.metrics["tune_replay_runs"] + res.metrics["tune_replay_cache_hits"] > 0
+    # the experiment isolates its ledger from the shared console
+    assert ctx.console.stats.runs == 0
+    # one "all" row per tenant plus one row per phase
+    tenants = {r[0] for r in res.rows}
+    for t in tenants:
+        phases = [r[1] for r in res.rows if r[0] == t]
+        assert phases.count("all") == 1
+        assert len(phases) == 5
