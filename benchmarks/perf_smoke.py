@@ -46,6 +46,17 @@ Three suites, selected with ``--suite``:
     :data:`LINT_BUDGET_SECONDS` — the lint must stay cheap enough to sit
     in every CI pipeline and pre-commit hook.
 
+``cluster``
+    The fleet-scale sweep: a 1000-node fleet (two utilization epochs)
+    whose MBE lease match drives per-node replay jobs through a process
+    pool, cold then warm against the content-addressed fleet cache.
+    Writes ``BENCH_cluster.json`` with node-job throughput, the warm-run
+    cache hit rate, and the sweep's deterministic counter totals.
+    ``--check`` fails (exit 1) if cold throughput regressed more than
+    25 % against the checked-in baseline, the warm hit rate falls below
+    :data:`CLUSTER_WARM_HIT_FLOOR`, warm results drift from cold ones,
+    or the seeded counter totals differ from the baseline's.
+
 ``tune``
     The cost-model-driven tuner vs the exhaustive grid reference on the
     decision layer: every (workload, backend) console configuration and
@@ -103,6 +114,10 @@ LINT_BUDGET_SECONDS = 10.0
 #: --check fails when the tuner's simulated-run reduction over the grid
 #: reference drops below this on the decision suite (the PR's ≥10× claim).
 TUNE_REDUCTION_FLOOR = 10.0
+
+#: --check fails when the cluster suite's warm-cache sweep serves fewer
+#: than this fraction of its node-job lookups from the fleet cache.
+CLUSTER_WARM_HIT_FLOOR = 0.9
 
 #: Report-layout version shared by every BENCH_*.json file.  Bump whenever
 #: any suite's report shape changes; ``--check`` then rejects the old
@@ -635,6 +650,95 @@ def check_tune(report: dict, baseline_path: str) -> int:
     return 0
 
 
+# -- cluster suite -------------------------------------------------------------
+
+#: the acceptance-scale sweep: 1000 nodes, two lease epochs
+_CLUSTER_NODES = 1000
+_CLUSTER_EPOCHS = 2
+_CLUSTER_SEED = 11
+
+
+def bench_cluster(jobs: int) -> dict:
+    """Cold/warm fleet sweep at 1k nodes: throughput, hit rate, totals."""
+    import tempfile
+
+    from repro import cache
+    from repro.cluster.fleet import FleetConfig, run_fleet
+
+    cfg = FleetConfig(n_nodes=_CLUSTER_NODES, n_snapshots=_CLUSTER_EPOCHS,
+                      seed=_CLUSTER_SEED)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        os.environ["REPRO_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        t0 = time.perf_counter()
+        cold = run_fleet(cfg, jobs=jobs)
+        cold_seconds = time.perf_counter() - t0
+        # warm pass runs serially in-process so this process's cache
+        # counters see every lookup (the cold pass hit/missed in workers)
+        h0, m0 = cache.cache_stats()
+        t0 = time.perf_counter()
+        warm = run_fleet(cfg, jobs=1)
+        warm_seconds = time.perf_counter() - t0
+        h1, m1 = cache.cache_stats()
+    lookups = (h1 - h0) + (m1 - m0)
+    n_jobs = len(cold.jobs)
+    return {
+        **_report_meta("cluster"),
+        "config": {"n_nodes": cfg.n_nodes, "n_snapshots": cfg.n_snapshots,
+                   "seed": cfg.seed},
+        "node_jobs": n_jobs,
+        # seeded, machine-independent totals: any drift vs the baseline
+        # means the simulation changed, not the machine
+        "totals": {
+            "faults": sum(j.faults for j in cold.jobs),
+            "swap_ins": sum(j.swap_ins for j in cold.jobs),
+            "swap_outs": sum(j.swap_outs for j in cold.jobs),
+            "failovers": sum(j.failovers for j in cold.jobs),
+        },
+        "cold": {"jobs": jobs, "seconds": round(cold_seconds, 3),
+                 "node_jobs_per_s": int(n_jobs / cold_seconds),
+                 "nodes_per_s": int(cfg.n_nodes / cold_seconds)},
+        "warm": {"seconds": round(warm_seconds, 3),
+                 "lookups": lookups,
+                 "hit_rate": round((h1 - h0) / max(1, lookups), 4)},
+        "warm_identical": warm.jobs == cold.jobs,
+    }
+
+
+def check_cluster(report: dict, baseline_path: str) -> int:
+    """Gate cold throughput, warm hit rate, and the seeded totals."""
+    baseline = load_baseline(baseline_path, "cluster")
+    if baseline is None:
+        return 2
+    failures = []
+    got = report["cold"]["node_jobs_per_s"]
+    base = baseline["cold"]["node_jobs_per_s"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * base
+    status = "ok" if got >= floor else "REGRESSED"
+    print(f"cluster: cold {got} node-jobs/s vs baseline {base} "
+          f"(floor {floor:.0f}) {status}")
+    if got < floor:
+        failures.append(f"cold throughput {got} below floor {floor:.0f}")
+    hit_rate = report["warm"]["hit_rate"]
+    print(f"cluster: warm hit rate {hit_rate} "
+          f"(floor {CLUSTER_WARM_HIT_FLOOR}), "
+          f"warm identical: {report['warm_identical']}")
+    if hit_rate < CLUSTER_WARM_HIT_FLOOR:
+        failures.append(f"warm hit rate {hit_rate} below "
+                        f"{CLUSTER_WARM_HIT_FLOOR}")
+    if not report["warm_identical"]:
+        failures.append("warm sweep results drifted from the cold sweep")
+    if report["totals"] != baseline["totals"]:
+        failures.append(f"seeded counter totals {report['totals']} != "
+                        f"baseline {baseline['totals']}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("cluster gates ok")
+    return 0
+
+
 # -- lint suite --------------------------------------------------------------
 
 def bench_lint(repeats: int) -> dict:
@@ -713,7 +817,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
                         choices=("reuse", "replay", "injected", "replay-mt",
-                                 "lint", "tune"),
+                                 "lint", "tune", "cluster"),
                         default="reuse")
     parser.add_argument("--out", default=None,
                         help="report path (default BENCH_<suite>.json)")
@@ -722,6 +826,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(replay-mt: total across all tenants)")
     parser.add_argument("--tenants", type=int, default=4,
                         help="co-tenants on the shared device (replay-mt)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, min(8, os.cpu_count() or 1)),
+                        help="process-pool workers for the cluster sweep")
     parser.add_argument("--distinct", type=int, default=65_536,
                         help="distinct pages in the reuse-suite random trace")
     parser.add_argument("--repeats", type=int, default=3,
@@ -776,6 +883,10 @@ def main(argv: list[str] | None = None) -> int:
         report = bench_tune(args.repeats)
         if args.check:
             return check_tune(report, out)
+    elif args.suite == "cluster":
+        report = bench_cluster(args.jobs)
+        if args.check:
+            return check_cluster(report, out)
     else:
         pages = np.random.default_rng(1).integers(0, args.distinct, size=args.accesses)
         vector = bench_kernel(_warm_distances_vector, pages, args.repeats)

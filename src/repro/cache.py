@@ -48,6 +48,7 @@ __all__ = [
     "features_key",
     "replay_key",
     "tune_key",
+    "fleet_key",
     "load_trace",
     "store_trace",
     "load_features",
@@ -56,6 +57,8 @@ __all__ = [
     "store_replay",
     "load_tune_point",
     "store_tune_point",
+    "load_fleet_node",
+    "store_fleet_node",
 ]
 
 _LAYOUT = "v1"
@@ -322,6 +325,46 @@ def load_tune_point(trace_digest: str, backend: str, local_pages: int,
     if arrays is None:
         return None
     out = {name: int(arrays[name]) for name in _TUNE_SCALARS}
+    out["sim_time"] = float(arrays["sim_time"])
+    return out
+
+
+# -- fleet node jobs -----------------------------------------------------------
+
+def fleet_key(spec: dict) -> dict:
+    """Cache key of one fleet node-job simulation.
+
+    ``spec`` is :func:`repro.cluster.fleet`'s node spec: the sweep
+    fingerprint (thresholds, topology, job shape, seed) plus the resolved
+    per-node assignment (lease amount, fair-share bandwidth, donor-down
+    flag) — everything the pure node simulation depends on.  The fleet
+    version guards against algorithm drift.
+    """
+    from repro.cluster.fleet import FLEET_VERSION
+
+    key = dict(spec)
+    key["fleet_version"] = FLEET_VERSION
+    return key
+
+
+_FLEET_SCALARS = ("accesses", "hits", "faults", "cold_allocations", "swap_ins",
+                  "swap_outs", "clean_drops", "failovers")
+
+
+def store_fleet_node(spec: dict, counters: dict) -> None:
+    """Persist one node job's measured counters and simulated time."""
+    arrays = {name: np.int64(counters[name]) for name in _FLEET_SCALARS}
+    arrays["sim_time"] = np.float64(counters["sim_time"])
+    _store("fleet", fleet_key(spec), arrays)
+
+
+def load_fleet_node(spec: dict) -> dict | None:
+    """Load one node job's measurement, or None on a miss."""
+    names = _FLEET_SCALARS + ("sim_time",)
+    arrays = _load("fleet", fleet_key(spec), names)
+    if arrays is None:
+        return None
+    out = {name: int(arrays[name]) for name in _FLEET_SCALARS}
     out["sim_time"] = float(arrays["sim_time"])
     return out
 

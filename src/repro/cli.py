@@ -71,6 +71,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.no_cache:
         os.environ["REPRO_CACHE"] = "0"
+    # intra-experiment fan-out (the fleet sweep): a single experiment can't
+    # use the runner's per-experiment pool, so hand it the worker budget
+    os.environ["REPRO_FLEET_JOBS"] = str(max(1, args.jobs if len(names) == 1 else 1))
     for outcome in run_many(names, scale=args.scale, seed=args.seed, jobs=args.jobs):
         if args.csv:
             print(outcome.result.to_csv())

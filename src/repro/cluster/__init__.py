@@ -10,6 +10,15 @@ from repro.cluster.scheduler import ClusterScheduler, Task, TaskResult
 from repro.cluster.trace_gen import UtilizationTrace, alibaba_like_trace
 from repro.cluster.mbe import mbe, mbe_improvement_grid
 from repro.cluster.pool import Lease, RemoteMemoryPool
+from repro.cluster.fleet import (
+    FleetConfig,
+    FleetResult,
+    NodeAssignment,
+    NodeJobResult,
+    plan_fleet,
+    run_fleet,
+    simulate_node,
+)
 
 __all__ = [
     "ClusterNode",
@@ -22,4 +31,11 @@ __all__ = [
     "mbe_improvement_grid",
     "Lease",
     "RemoteMemoryPool",
+    "FleetConfig",
+    "FleetResult",
+    "NodeAssignment",
+    "NodeJobResult",
+    "plan_fleet",
+    "run_fleet",
+    "simulate_node",
 ]

@@ -20,10 +20,22 @@ from repro.errors import ConfigurationError
 __all__ = ["mbe", "mbe_cell", "mbe_improvement_grid", "best_thresholds", "tuned_thresholds"]
 
 
-def mbe(utilization: np.ndarray, alpha: float, beta: float) -> float:
+def mbe(
+    utilization: np.ndarray,
+    alpha: float,
+    beta: float,
+    fabric_limit: float | None = None,
+) -> float:
     """MBE of one utilization snapshot at thresholds (alpha, beta).
 
     Returns a fraction of total cluster memory (e.g. 0.138 = 13.8%).
+
+    ``fabric_limit`` optionally caps each machine's contribution (lent
+    headroom or shed pressure) at that fraction of one machine's DRAM —
+    the same per-machine fabric cap :class:`repro.cluster.pool
+    .RemoteMemoryPool` enforces, so the capped value is the exact analytic
+    twin of a greedy lease match.  ``None`` (the default) is the paper's
+    Section V-D definition and keeps the original computation untouched.
     """
     if not 0.0 <= alpha <= beta <= 1.0:
         raise ConfigurationError(f"need 0 <= alpha <= beta <= 1, got {alpha}, {beta}")
@@ -32,6 +44,14 @@ def mbe(utilization: np.ndarray, alpha: float, beta: float) -> float:
         raise ConfigurationError("empty utilization snapshot")
     low = u < alpha
     high = u > beta
+    if fabric_limit is not None:
+        if fabric_limit <= 0:
+            raise ConfigurationError("fabric_limit must be positive")
+        # per-machine caps bind *before* the min: a donor with more
+        # headroom than the fabric can address still lends only the cap
+        supply = float(np.minimum(alpha - u[low], fabric_limit).sum())
+        demand = float(np.minimum(u[high] - beta, fabric_limit).sum())
+        return 2.0 * min(supply, demand) / u.size
     a_pct = float(low.mean())
     c_pct = float(high.mean())
     a_bar = float(u[low].mean()) if low.any() else alpha

@@ -39,7 +39,13 @@ class ClusterNode:
 
     @property
     def memory_utilization(self) -> float:
-        """Local memory utilization in [0, 1]."""
+        """Local memory utilization in [0, 1].
+
+        A DRAM-less node (an FM-only expander blade lending its capacity
+        to the pool) reports 0.0 rather than dividing by zero.
+        """
+        if self.local_capacity == 0:
+            return 0.0
         return self.used_local / self.local_capacity
 
     def admit(self, task_name: str, local_bytes: int, fm_bytes: int = 0) -> None:
@@ -67,3 +73,15 @@ class ClusterNode:
     def fits(self, local_bytes: int, fm_bytes: int = 0) -> bool:
         """Whether a reservation would be admitted."""
         return local_bytes <= self.free_local and fm_bytes <= self.free_fm
+
+    def resize_fm(self, fm_bytes: int) -> None:
+        """Retarget reachable far memory (lease churn re-ran the match).
+
+        The new capacity may land *below* ``used_fm``: running tasks keep
+        their reservations (lazy migration drains the revoked lease), the
+        node simply admits nothing new until completions recover headroom —
+        ``free_fm`` goes negative and :meth:`fits` rejects.
+        """
+        if fm_bytes < 0:
+            raise ValueError("fm_bytes must be non-negative")
+        self.fm_bytes = fm_bytes

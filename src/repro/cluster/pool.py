@@ -8,7 +8,9 @@ largest-demand first), and accounts for the fabric's capacity limits.
 
 ``realized_mbe`` then cross-checks the analytic metric in
 :mod:`repro.cluster.mbe`: the memory actually moved by the lease match
-must equal the metric's value up to the matching granularity.
+must equal ``mbe(u, alpha, beta, fabric_limit=L)`` up to the matching
+granularity (see :meth:`RemoteMemoryPool.realized_mbe` for the exact
+bound).
 """
 
 from __future__ import annotations
@@ -104,6 +106,19 @@ class RemoteMemoryPool:
 
         Comparable to :func:`repro.cluster.mbe.mbe`: pressure shed plus
         headroom filled, i.e. twice the leased volume, per machine.
+
+        Exact tolerance vs the analytic metric: donors can serve any
+        borrower (no pairwise constraints), so the greedy match attains
+        ``min(total capped supply, total capped demand)`` — the value of
+        ``mbe(u, alpha, beta, fabric_limit=self.fabric_limit)`` — except
+        for the matcher's 1e-12 epsilon skips, which strand at most 1e-12
+        machine-units per donor and leave at most 1e-12 unfilled per
+        borrower.  Hence
+
+        ``|realized_mbe(M) - mbe(u, a, b, fabric_limit=L)|
+        <= 2 * (n_donors + n_borrowers) * 1e-12 / M  (<= 2e-12)``
+
+        plus float summation round-off; the tests assert ``abs=1e-9``.
         """
         if n_machines < 1:
             raise ConfigurationError("n_machines must be >= 1")

@@ -74,11 +74,20 @@ class ClusterScheduler:
         self.nodes = list(nodes)
         self.results: list[TaskResult] = []
 
-    def run(self, tasks: list[Task]) -> list[TaskResult]:
+    def run(self, tasks: list[Task], on_advance=None) -> list[TaskResult]:
         """Execute ``tasks`` (all ready at t=0); returns completion records.
 
         A task that fits nowhere waits for completions; if it exceeds every
         node's *total* capacity it is rejected with an error.
+
+        ``on_advance(now)`` is invoked after every completion, once the
+        node's reservations are released — the fleet layer uses it to apply
+        lease churn (:meth:`ClusterNode.resize_fm`) as the clock advances.
+        Because capacity can shrink mid-run, admission is re-validated
+        against the *current* totals: a pending task that no longer fits
+        any node while nothing is running raises a deterministic
+        :class:`ConfigurationError` naming the task, instead of the
+        admission loop spinning forever.
         """
         for t in tasks:
             if not any(
@@ -109,13 +118,33 @@ class ClusterScheduler:
                         pending.pop(i)
                         admitted = True
                         break
-            if not running:  # pragma: no cover - guarded by the pre-check
-                raise ConfigurationError("no task can be admitted")
+            if not running:
+                # the t=0 pre-check no longer holds: lease churn shrank some
+                # node's capacity mid-run.  Reject deterministically (first
+                # pending task, input order) instead of spinning.
+                stuck = next(
+                    (
+                        t
+                        for t in pending
+                        if not any(
+                            t.local_bytes <= n.local_capacity and t.fm_bytes <= n.fm_bytes
+                            for n in self.nodes
+                        )
+                    ),
+                    pending[0],
+                )
+                raise ConfigurationError(
+                    f"task {stuck.name} ({stuck.local_bytes}B local / "
+                    f"{stuck.fm_bytes}B FM) can no longer be admitted on any "
+                    f"node (capacity shrank mid-run)"
+                )
             finish, _, task, node = heapq.heappop(running)
             start = finish - task.runtime
             now = finish
             node.release(task.name, task.local_bytes, task.fm_bytes)
             self.results.append(TaskResult(task=task, node=node.name, start=start, finish=finish))
+            if on_advance is not None:
+                on_advance(now)
         return self.results
 
     @property

@@ -50,8 +50,9 @@ DIRECTIONS = (
     (BackendKind.RDMA, BackendKind.SSD),
 )
 #: cap per-regime trace length: the oracle regime (pre-scheduled switch
-#: process) and every post-onset stretch still walk the exact event
-#: loop — only the healthy pre-onset quarter rides the hybrid planner
+#: process) still walks the exact event loop, but in the managed regime
+#: both the healthy pre-onset quarter and — owner-aware, once the switch
+#: quiesces — the post-switch tail ride the hybrid planner's batch path
 _MAX_TRACE = 40_000
 #: per-primary degradation (latency factor, bandwidth fraction): severe
 #: enough that MEI favours the standby AND the degraded phase dwarfs the

@@ -1,0 +1,199 @@
+"""Fleet study: thousands of nodes, MBE leases wired to live replay.
+
+The data-center-scale synthesis of the cluster layer: an N-node fleet
+(Alibaba-like utilization trace) where every epoch's
+:class:`~repro.cluster.pool.RemoteMemoryPool` match becomes *live*
+remote-DRAM capacity for the borrowers — each one replays a seeded job
+through the single-node swap stack at the fair-share fabric bandwidth
+the :class:`~repro.topology.rack.RackFabric` resolves, and donor
+failures cascade through the :mod:`repro.faults` failover machinery.
+
+Reported per epoch: donor/borrower counts, stranding (donor headroom the
+greedy match left unlent), realized vs analytic MBE (must agree within
+the :meth:`~repro.cluster.pool.RemoteMemoryPool.realized_mbe` bound —
+this experiment *gates* on it), per-node slowdown percentiles, and the
+task throughput of a scheduler wave over a sampled node subset whose
+far-memory reservations are retargeted epoch-over-epoch via
+:meth:`~repro.cluster.node.ClusterNode.resize_fm` (lease churn draining
+through the scheduler's accounting).  Tail rows bucket per-node slowdown
+by disaggregation ratio — the paper's question "how much borrowed memory
+can a node run on before its tail latency gives out".
+
+Node jobs fan out over a process pool (``REPRO_FLEET_JOBS``, set by the
+CLI's ``--jobs``); output is byte-identical at any worker count and
+across cold/warm artifact caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.fleet import FleetConfig, fleet_jobs_from_env, run_fleet
+from repro.cluster.node import ClusterNode
+from repro.cluster.scheduler import ClusterScheduler, Task
+from repro.errors import SimulationError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+from repro.topology.server import paper_testbed
+from repro.units import PAGE_SIZE
+
+__all__ = ["run", "MBE_TOLERANCE"]
+
+#: fleet size / epochs at scale 1.0 (scale 0.5 -> the 1000-node sweep)
+_NODES_FULL = 2000
+_EPOCHS_FULL = 8
+#: |realized - analytic| MBE gate; generous vs the documented 2e-12 bound
+MBE_TOLERANCE = 1e-9
+#: scheduler wave: sampled node subset (keeps first-fit admission cheap)
+_WAVE_NODES = 64
+_TASK_COMPUTE = 1.0
+#: disaggregation-ratio bucket edges for the slowdown tail rows
+_RATIO_EDGES = (0.1, 0.2, 0.3)
+
+
+def _percentiles(slowdowns: list[float]) -> tuple[float, float]:
+    if not slowdowns:
+        return 0.0, 0.0
+    arr = np.asarray(slowdowns, dtype=np.float64)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def _wave_throughput(nodes, grant_bytes: dict, ratios: dict, util: dict,
+                     dram: int) -> float:
+    """One scheduler wave over the sampled nodes at this epoch's leases.
+
+    Every node is retargeted to its current grant first (``resize_fm`` —
+    a node whose lease was revoked shrinks to zero and simply hosts no
+    offloaded task this epoch), then each still-borrowing node's task
+    runs under first-fit admission.
+    """
+    tasks = []
+    for node in nodes:
+        grant = grant_bytes.get(node.name, 0)
+        node.resize_fm(grant + PAGE_SIZE if grant > 0 else 0)
+    for node in nodes:
+        grant = grant_bytes.get(node.name, 0)
+        if grant <= 0:
+            continue
+        ratio = min(0.9, ratios[node.name])
+        tasks.append(
+            Task(
+                name=f"t-{node.name}",
+                working_set=max(1, int(util[node.name] * dram)),
+                compute_time=_TASK_COMPUTE,
+                offload_ratio=ratio,
+                runtime_factor=1.0 + min(1.0, ratio),
+            )
+        )
+    if not tasks:
+        return 0.0
+    sched = ClusterScheduler(nodes)
+    sched.run(tasks)
+    return sched.throughput()
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Sweep the fleet and cross-check realized vs analytic balancing."""
+    cfg = FleetConfig(
+        n_nodes=max(8, int(_NODES_FULL * ctx.scale)),
+        n_snapshots=max(2, int(_EPOCHS_FULL * ctx.scale)),
+        seed=ctx.seed,
+    )
+    fleet = run_fleet(cfg, jobs=fleet_jobs_from_env())
+    dram = paper_testbed().dram_bytes
+
+    by_epoch: dict[int, list] = {}
+    for a, j in zip(fleet.assignments, fleet.jobs):
+        by_epoch.setdefault(a.epoch, []).append((a, j))
+
+    # scheduler wave nodes: epoch 0's first borrowers, retargeted (not
+    # rebuilt) every epoch so lease churn drains through live accounting
+    wave_ids = [a.node for a, _ in by_epoch.get(0, [])][:_WAVE_NODES]
+    wave_nodes = [ClusterNode(name=f"n{i}", fm_bytes=0) for i in wave_ids]
+
+    rows = []
+    mbe_err_max = 0.0
+    tputs = []
+    for summary in fleet.epochs:
+        pairs = by_epoch.get(summary.epoch, [])
+        p50, p99 = _percentiles([j.slowdown for _, j in pairs])
+        grant_bytes = {
+            f"n{a.node}": int(a.amount * dram) for a, _ in pairs
+        }
+        ratios = {f"n{a.node}": a.ratio for a, _ in pairs}
+        util = {f"n{a.node}": a.utilization for a, _ in pairs}
+        tput = _wave_throughput(wave_nodes, grant_bytes, ratios, util, dram)
+        tputs.append(tput)
+        mbe_err_max = max(
+            mbe_err_max, abs(summary.realized_mbe - summary.analytic_mbe)
+        )
+        rows.append([
+            f"e{summary.epoch}",
+            summary.n_donors,
+            summary.n_borrowers,
+            summary.failed_donors,
+            summary.cascaded_borrowers,
+            f"{summary.stranding_pct:.2f}",
+            f"{summary.realized_mbe:.6f}",
+            f"{summary.analytic_mbe:.6f}",
+            f"{p50:.2f}",
+            f"{p99:.2f}",
+            f"{tput:.3f}",
+        ])
+
+    # slowdown tails by disaggregation ratio, fleet-wide
+    edges = (0.0,) + _RATIO_EDGES + (float("inf"),)
+    for lo, hi in zip(edges, edges[1:]):
+        bucket = [
+            j.slowdown
+            for a, j in zip(fleet.assignments, fleet.jobs)
+            if lo <= a.ratio < hi
+        ]
+        p50, p99 = _percentiles(bucket)
+        label = f"r[{lo:.1f},{hi:.1f})" if hi != float("inf") else f"r>={lo:.1f}"
+        rows.append([
+            label, "-", len(bucket), "-", "-", "-", "-", "-",
+            f"{p50:.2f}", f"{p99:.2f}", "-",
+        ])
+
+    if mbe_err_max > MBE_TOLERANCE:
+        raise SimulationError(
+            f"realized MBE drifted {mbe_err_max:.3e} from the analytic "
+            f"metric (documented bound {MBE_TOLERANCE:.0e})"
+        )
+
+    slowdowns = [j.slowdown for j in fleet.jobs]
+    p50_all, p99_all = _percentiles(slowdowns)
+    metrics = {
+        "nodes": float(cfg.n_nodes),
+        "epochs": float(cfg.n_snapshots),
+        "node_jobs": float(len(fleet.jobs)),
+        "stranding_pct_mean": float(
+            np.mean([e.stranding_pct for e in fleet.epochs])
+        ),
+        "mbe_abs_err_max": mbe_err_max,
+        "p50_slowdown": p50_all,
+        "p99_slowdown": p99_all,
+        "failed_donors_total": float(sum(e.failed_donors for e in fleet.epochs)),
+        "cascaded_borrowers_total": float(
+            sum(e.cascaded_borrowers for e in fleet.epochs)
+        ),
+        "cascade_failovers": float(sum(j.failovers for j in fleet.jobs)),
+        "port_peak_utilization": fleet.port_peak_utilization,
+        "sched_tput_mean": float(np.mean(tputs)) if tputs else 0.0,
+    }
+    return ExperimentResult(
+        name="fleet_study",
+        title="Fleet-scale sweep: MBE leases as live remote-DRAM capacity",
+        headers=["epoch/bucket", "donors", "borrowers", "failed", "cascades",
+                 "stranding_pct", "realized_mbe", "analytic_mbe",
+                 "p50_slowdown", "p99_slowdown", "sched_tput"],
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "realized vs analytic MBE is gated at 1e-9 (documented matcher "
+            "bound); slowdown tails bucketed by disaggregation ratio; output "
+            "is byte-identical across REPRO_FLEET_JOBS worker counts and "
+            "cold/warm caches"
+        ),
+    )

@@ -15,6 +15,7 @@ from repro.experiments import (
     des_validation,
     failover_study,
     fig01b,
+    fleet_study,
     fig02b,
     fig03,
     fig04,
@@ -68,6 +69,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "tier_study": tier_study.run,
     "failover_study": failover_study.run,
     "phase_tuning": phase_tuning.run,
+    "fleet_study": fleet_study.run,
 }
 
 

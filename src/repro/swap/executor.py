@@ -55,6 +55,12 @@ __all__ = ["RetryPolicy", "SwapExecutionResult", "SwapExecutor", "run_tenants",
 #: every this-many accesses of the event-level loop.
 _PROGRESS_STRIDE = 256
 
+#: Sentinel for :meth:`SwapExecutor._span_proc`'s ``switched0``: capture the
+#: failover switch timestamp at generator entry.  Multi-slice callers pass
+#: their span-entry value instead so a switch completing in an earlier slice
+#: still stops a later one.
+_CAPTURE = object()
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -304,16 +310,19 @@ class SwapExecutor:
         res.sim_time = sim.now - start
         return res
 
-    def _span_proc(self, pages, kinds, ops, pos, stop_time=None):
+    def _span_proc(self, pages, kinds, ops, pos, stop_time=None,
+                   switched0=_CAPTURE):
         """Run accesses ``[pos, len)`` through the per-access event loop.
 
         The exact engine, span-shaped for the hybrid planner: with a
         ``stop_time`` the loop hands back control at the first access
-        boundary after the clock reaches it *and* the failover monitor is
-        quiescent (see :meth:`FailoverController.quiescent` — a batch
-        segment must not inherit unevaluated health samples).  Returns
-        the next unprocessed index; the caller owns start/end bookkeeping
-        (``sim_time``, final progress sample, sanitizer pass).
+        boundary after the clock reaches it — or after a failover switch
+        completes, since the stop time was priced against the *pre-switch*
+        active plan — *and* the failover monitor is quiescent (see
+        :meth:`FailoverController.quiescent` — a batch segment must not
+        inherit unevaluated health samples).  Returns the next unprocessed
+        index; the caller owns start/end bookkeeping (``sim_time``, final
+        progress sample, sanitizer pass).
         """
         res = self.result
         sim = self.sim
@@ -330,6 +339,8 @@ class SwapExecutor:
         add_latency = res.fault_latency.add
         sanitize = sim.sanitize
         failover = self.failover
+        if switched0 is _CAPTURE:
+            switched0 = failover.switched_at if failover is not None else None
         i = pos
         for page, kind, op in zip(pages[pos:], kinds[pos:], ops[pos:]):
             i += 1
@@ -397,7 +408,9 @@ class SwapExecutor:
                     self.assert_page_conservation()
             if (
                 stop_time is not None
-                and sim.now >= stop_time
+                and (sim.now >= stop_time
+                     or (failover is not None
+                         and failover.switched_at != switched0))
                 and (failover is None or failover.quiescent())
             ):
                 break

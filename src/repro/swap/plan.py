@@ -40,10 +40,14 @@ Two invariants make the splice exact:
   walks only the final sliver), with a loud
   :class:`~repro.errors.SimulationError` if the model ever overshoots.
 
-After a completed failover switch the run stays on the event engine:
-lazy migration makes the outcome stream owner-dependent (which accesses
-invalidate retained copies depends on who serves each fault), which the
-vectorized classification deliberately does not model.
+After a completed failover switch the planner *resumes batching* with an
+owner-aware classification: lazy migration makes an access owner-dependent
+exactly when it faults on — or stores to — a *stale* far copy (one still
+owned by the switched-away backend), so batch chunks are admitted up to
+(not including) the first such access and the exact event loop walks it.
+Stale copies only disappear (new far copies always land on the active
+backend), so long post-switch tails converge back to pure batch admission
+instead of limping on the event engine to the end of the trace.
 
 Counters come out bit-identical to the event engine; ``sim_time`` agrees
 to float round-off (the serial cost sum is merely re-associated).  The
@@ -60,10 +64,14 @@ import numpy as np
 from repro.devices.base import FarMemoryDevice
 from repro.errors import SimulationError
 from repro.faults.device import FaultyDevice
+from repro.mem.page import PageOp
 from repro.swap.pathmodel import FAULT_COST
 from repro.swap.replay import _WINDOW, classify_span
 
 __all__ = ["PlanSegment", "ExecutionPlan", "hybrid_run", "plannable"]
+
+_STORE_OP = int(PageOp.STORE)
+_EMPTY = np.empty(0, dtype=np.int64)
 
 #: First chunk size (anonymous accesses) of a batch segment; doubles per
 #: admitted chunk up to ``_CHUNK_MAX`` so long healthy stretches cost
@@ -178,12 +186,14 @@ def plannable(executor) -> bool:
 def _active_hazards(executor) -> list[tuple[float, float]]:
     """Merged live fault spans of the *active* backend's plan.
 
-    Only the active device serves I/O before a switch, so only its
-    windows can perturb the outcome stream; standby plans matter solely
+    Only the active device serves the batched I/O flows, so only its
+    windows can perturb an admitted chunk; standby plans matter solely
     through degraded-verdict pricing, which by the quiescence invariant
-    happens inside event segments.  After a switch the planner never
-    returns to batch, so re-reading the active plan each iteration is
-    sufficient.
+    happens inside event segments.  Re-reading the active plan each
+    iteration keeps this correct across failover switches: after one,
+    the *new* active backend's windows become the hazards (stale copies
+    on the old backend are handled by the stale cut instead — faults on
+    them never enter a batch segment, so the old plan cannot matter).
     """
     frontend = executor.frontend
     device = frontend.module(frontend.active_backend).device
@@ -234,10 +244,17 @@ def _seam_arrays(executor):
 def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
                    a_pos, full_pos, limit, rate):
     """Admit batch chunks from ``a_pos`` until the trace ends or ``limit``
-    nears; returns the new ``(a_pos, full_pos)``.  ``rate`` is the run's
-    recent-weighted ``[serial_cost, anon_accesses]`` density estimate,
+    nears; returns the new ``(a_pos, full_pos, blocked)``.  ``rate`` is the
+    run's recent-weighted ``[serial_cost, anon_accesses]`` density estimate,
     carried across segments so later segments size their first chunk from
     the observed cost rate instead of re-walking the discovery ladder.
+
+    ``blocked`` is None except after a completed failover switch, when the
+    owner-aware *stale cut* may end the segment: the full-trace index of
+    the first access that faults on — or stores to — a far copy still
+    owned by a non-active backend (its timing, invalidation, and re-homing
+    are owner-dependent, which the classification does not model).  The
+    caller walks that access on the exact event loop.
 
     ``limit`` is the next hazard start (or None): chunks are classified
     speculatively and priced per access from the exact healthy serial
@@ -280,6 +297,18 @@ def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
         predicted = int(0.85 * (limit - sim.now) * rate[1] / rate[0])
         chunk = min(_CHUNK_MAX, max(_WINDOW, predicted))
     add_repeat = res.fault_latency.add_repeat
+    # far copies owned by a non-active backend are *stale*: their fault
+    # timing (and the lazy-migration invalidation that follows) depends on
+    # the owner, and a store re-homes them — neither of which the
+    # vectorized classification models.  Before the first completed switch
+    # every copy is active-owned, so the pre-switch planner never scans.
+    if failover is not None and failover.switched_at is not None:
+        stale = sorted(p for p, o in frontend._owner.items()
+                       if o != active_name)
+        stale_arr = np.asarray(stale, dtype=np.int64)
+    else:
+        stale_arr = _EMPTY
+    blocked = None
     # seam arrays are maintained incrementally across chunks: far_end is
     # the complete post-chunk far set by contract, and the owner map is
     # reconciled to it below, so rebuilding from executor state per chunk
@@ -295,11 +324,16 @@ def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
             if rate[1] and rate[0] > 0.0:
                 predicted = int(0.85 * budget * rate[1] / rate[0])
                 size = min(size, max(_WINDOW, predicted))
+        elif stale_arr.size:
+            # owner-dependent copies ahead: stay on the doubling ladder so
+            # a stale cut never throws away a whole-remainder classification
+            size = chunk
         else:
             # no hazard ahead: one span covers the rest of the trace
             size = n_anon - a_pos
         a1 = min(n_anon, a_pos + size)
-        snap = _lru_snapshot(lru) if limit is not None else None
+        snap = (_lru_snapshot(lru)
+                if limit is not None or stale_arr.size else None)
         span = _replay_span(executor, anon_pages[a_pos:a1],
                             anon_ops[a_pos:a1], touched_arr, far_arr)
         span_len = a1 - a_pos
@@ -337,6 +371,29 @@ def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
             guard = per_fault + per_wb
             cut = int(np.searchsorted(cum + guard, limit - sim.now,
                                       side="right"))
+        if stale_arr.size:
+            # owner-aware stale cut: admit strictly before the first fault
+            # on — or store to — a stale copy.  Stores are cut even as LRU
+            # hits: the invalidation itself is owner-exact, but a re-store
+            # later in the same chunk would re-home the page to the active
+            # backend, which the chunk-end set reconciliation (a far-set
+            # delta) cannot express.  Admitted prefixes therefore leave
+            # every stale copy untouched (clean drops keep the copy and
+            # the owner), so the stale set is stable across chunks.
+            sp = anon_pages[a_pos:a1]
+            pos = np.searchsorted(stale_arr, sp)
+            in_stale = pos < stale_arr.size
+            in_stale[in_stale] = stale_arr[pos[in_stale]] == sp[in_stale]
+            risky = np.flatnonzero(in_stale
+                                   & (anon_ops[a_pos:a1] == _STORE_OP))
+            s_cut = int(risky[0]) if risky.size else span_len
+            if span.fault_pos.size:
+                f_stale = span.fault_pos[in_stale[span.fault_pos]]
+                if f_stale.size:
+                    s_cut = min(s_cut, int(f_stale[0]))
+            if s_cut <= cut and s_cut < span_len:
+                cut = s_cut
+                blocked = int(anon_idx[a_pos + s_cut])
         if cut <= 0:
             if snap is not None:
                 _lru_restore(lru, snap)
@@ -432,7 +489,7 @@ def _batch_segment(executor, anon_pages, anon_ops, anon_idx, n_full,
         if partial:
             break
         chunk = min(chunk * 2, _CHUNK_MAX)
-    return a_pos, full_pos
+    return a_pos, full_pos, blocked
 
 
 #: Accesses materialized per python-list slice handed to the event loop.
@@ -450,6 +507,8 @@ def _event_span(executor, trace, full_pos, stop_time):
     health intervals key off global counters — so slicing is exact.
     """
     sim = executor.sim
+    failover = executor.failover
+    switched0 = failover.switched_at if failover is not None else None
     n = int(trace.pages.shape[0])
     while full_pos < n:
         hi = n if stop_time is None else min(n, full_pos + _EVENT_SLICE)
@@ -457,7 +516,8 @@ def _event_span(executor, trace, full_pos, stop_time):
         kinds = trace.kinds[full_pos:hi].tolist()
         ops = trace.ops[full_pos:hi].tolist()
         done = sim.process(
-            executor._span_proc(pages, kinds, ops, 0, stop_time),
+            executor._span_proc(pages, kinds, ops, 0, stop_time,
+                                switched0=switched0),
             name="exec:hybrid:event",
         )
         sim.run(until=done)
@@ -467,9 +527,111 @@ def _event_span(executor, trace, full_pos, stop_time):
         # the loop's stop check runs *after* each access, so a stop that
         # fires exactly on the slice boundary must not leak one access
         # into the next slice
-        failover = executor.failover
-        if sim.now >= stop_time and (failover is None or failover.quiescent()):
+        if (
+            (sim.now >= stop_time
+             or (failover is not None
+                 and failover.switched_at != switched0))
+            and (failover is None or failover.quiescent())
+        ):
             break
+    return full_pos
+
+
+#: First owner-dependent event walk length (accesses) after a stale cut;
+#: doubles per consecutive cut up to ``_EVENT_SLICE`` and resets once a
+#: batch segment makes real progress again.
+_EVENT_STEP = _WINDOW // 16  # simlint: ignore[UNIT001] -- access count, not bytes
+
+
+def _event_exact(executor, trace, full_pos, end):
+    """Walk accesses ``[full_pos, end)`` on the exact loop, position-bounded.
+
+    Unlike :func:`_event_span` there is no stop time: the slice boundary
+    is the contract (the caller knows exactly which accesses are
+    owner-dependent), and ``_span_proc`` without a stop time consumes each
+    handed slice entirely.
+    """
+    sim = executor.sim
+    end = min(end, int(trace.pages.shape[0]))
+    while full_pos < end:
+        hi = min(end, full_pos + _EVENT_SLICE)
+        pages = trace.pages[full_pos:hi].tolist()
+        kinds = trace.kinds[full_pos:hi].tolist()
+        ops = trace.ops[full_pos:hi].tolist()
+        done = sim.process(
+            executor._span_proc(pages, kinds, ops, 0, None),
+            name="exec:hybrid:event",
+        )
+        sim.run(until=done)
+        full_pos += int(done.value)
+    return full_pos
+
+
+def _post_switch_tail(executor, trace, plan, anon_pages, anon_ops, anon_idx,
+                      n_full, full_pos):
+    """Resume batch admission after a completed failover switch.
+
+    Lazy migration makes some post-switch outcomes owner-dependent: a
+    fault on a page whose far copy still lives on the switched-away
+    backend is served by *that* device (its timing, its live windows, its
+    transient dice rolls) and then invalidated, and a store to such a page
+    re-homes it — none of which the vectorized classification models.
+    Everything else is owner-independent, so the tail planner batches
+    chunks up to the first stale fault/store (:func:`_batch_segment`'s
+    stale cut), walks the blocking access — and, while cuts keep coming,
+    exponentially longer stretches — on the exact event loop, and returns
+    to batch once the monitor is quiescent again.  The stale set only
+    shrinks (new far copies always land on the active backend), so long
+    tails converge back to pure batch admission.
+    """
+    sim = executor.sim
+    failover = executor.failover
+    rate = [0.0, 0.0]  # the switched-to device prices differently: restart
+    event_len = _EVENT_STEP
+    while full_pos < n_full:
+        if not plannable(executor):
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_span(executor, trace, full_pos, None)
+            plan.add("event", p0, full_pos, t0, sim.now)
+            break
+        if failover is not None and not failover.quiescent():
+            # drain unevaluated monitor samples before any batch segment
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_span(executor, trace, full_pos, sim.now)
+            plan.add("event", p0, full_pos, t0, sim.now)
+            continue
+        hazards = _active_hazards(executor)
+        if hazards and sim.now >= hazards[0][0]:
+            # inside a live window of the new active backend: run exactly
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_span(executor, trace, full_pos, hazards[0][1])
+            plan.add("event", p0, full_pos, t0, sim.now)
+            continue
+        limit = hazards[0][0] if hazards else None
+        a_pos = int(np.searchsorted(anon_idx, full_pos))
+        t0, p0 = sim.now, full_pos
+        a_pos, full_pos, blocked = _batch_segment(
+            executor, anon_pages, anon_ops, anon_idx, n_full,
+            a_pos, full_pos, limit, rate,
+        )
+        plan.add("batch", p0, full_pos, t0, sim.now)
+        if full_pos - p0 >= _WINDOW:
+            event_len = _EVENT_STEP  # real batch progress: reset the backoff
+        if full_pos >= n_full:
+            break
+        if blocked is not None:
+            target = min(n_full, max(blocked + 1, full_pos + event_len))
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_exact(executor, trace, full_pos, target)
+            plan.add("event", p0, full_pos, t0, sim.now)
+            event_len = min(event_len * 2, _EVENT_SLICE)
+        else:
+            # the hazard bound the segment: approach + window run exactly
+            hazards = _active_hazards(executor)
+            stop_time = hazards[0][1] if hazards else None
+            t0, p0 = sim.now, full_pos
+            full_pos = _event_span(executor, trace, full_pos, stop_time)
+            plan.add("event", p0, full_pos, t0, sim.now)
     return full_pos
 
 
@@ -498,17 +660,18 @@ def hybrid_run(executor, trace):
     while full_pos < n_full:
         failover = executor.failover
         if failover is not None and failover.switched_at is not None:
-            # post-switch: lazy migration makes outcomes owner-dependent;
-            # the event engine carries the remainder
-            t0, p0 = sim.now, full_pos
-            full_pos = _event_span(executor, trace, full_pos, None)
-            plan.add("event", p0, full_pos, t0, sim.now)
+            # post-switch: the owner-aware tail planner resumes batch
+            # admission between stale-copy accesses
+            full_pos = _post_switch_tail(
+                executor, trace, plan, anon_pages, anon_ops, anon_idx,
+                n_full, full_pos,
+            )
             break
         hazards = _active_hazards(executor)
         if not hazards or sim.now < hazards[0][0]:
             limit = hazards[0][0] if hazards else None
             t0, p0 = sim.now, full_pos
-            a_pos, full_pos = _batch_segment(
+            a_pos, full_pos, _ = _batch_segment(
                 executor, anon_pages, anon_ops, anon_idx, n_full,
                 a_pos, full_pos, limit, rate,
             )

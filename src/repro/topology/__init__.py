@@ -11,6 +11,7 @@ root-complex bandwidth — the effect Table VII measures.
 
 from repro.topology.pcie import PCIeGen, PCIeLink, PCIeSwitch, pcie_lane_bandwidth
 from repro.topology.numa import NUMADomain, NUMANode
+from repro.topology.rack import RackFabric
 from repro.topology.server import ServerSpec, paper_testbed
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "pcie_lane_bandwidth",
     "NUMANode",
     "NUMADomain",
+    "RackFabric",
     "ServerSpec",
     "paper_testbed",
 ]

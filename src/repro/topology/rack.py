@@ -1,0 +1,113 @@
+"""Rack/fabric topology for fleet-scale simulation.
+
+Arranges N server nodes into racks and models each node's RDMA NIC as a
+:class:`~repro.simcore.bandwidth.FairShareLink` whose capacity is the
+server spec's aggregate port bandwidth.  A borrower's remote-DRAM backend
+reaches its donors through these links, so lease traffic contends with
+the donors' *own* traffic under the same processor-sharing fluid model
+the single-node replay engines use: with donor ``d`` carrying its own
+flow of weight ``u_d`` (its utilization) plus one flow per lease it
+backs (weight = lease amount), the borrower's share of ``d``'s port is
+``amount / (u_d + sum(leases on d))``.
+
+Cross-rack hops traverse the spine, which oversubscribes top-of-rack
+uplinks; ``spine_factor`` discounts the delivered share accordingly.
+The per-node simulations stay embarrassingly parallel: the fabric
+resolves contention analytically into one *effective bandwidth* per
+borrower (fed to its :class:`~repro.devices.rdma.RDMANic`), and the
+lease traffic measured by those runs is credited back onto the donor
+links via :meth:`~repro.simcore.bandwidth.FairShareLink.account_external`
+so port-utilization metrics agree with what a fleet-wide event run
+would have recorded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.simcore import Simulator
+from repro.simcore.bandwidth import FairShareLink
+from repro.topology.server import ServerSpec, paper_testbed
+
+__all__ = ["RackFabric"]
+
+
+class RackFabric:
+    """Racks of servers whose NIC ports are fair-shared fabric links."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rack_size: int = 32,
+        spec: ServerSpec | None = None,
+        spine_factor: float = 0.7,
+        sim: Simulator | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        if rack_size < 1:
+            raise ConfigurationError(f"rack_size must be >= 1, got {rack_size}")
+        if not 0.0 < spine_factor <= 1.0:
+            raise ConfigurationError(
+                f"spine_factor must be in (0, 1], got {spine_factor}"
+            )
+        self.n_nodes = n_nodes
+        self.rack_size = rack_size
+        self.spec = spec if spec is not None else paper_testbed()
+        self.spine_factor = spine_factor
+        self.sim = sim if sim is not None else Simulator()
+        bandwidth = self.spec.rdma_port_bandwidth * self.spec.rdma_ports
+        self.links = [
+            FairShareLink(self.sim, bandwidth, name=f"node{i}:nic")
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def n_racks(self) -> int:
+        """Number of (possibly partially filled) racks."""
+        return (self.n_nodes + self.rack_size - 1) // self.rack_size
+
+    def rack_of(self, node: int) -> int:
+        """Rack index hosting ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(f"node {node} outside fleet of {self.n_nodes}")
+        return node // self.rack_size
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """Whether two nodes share a top-of-rack switch (no spine hop)."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def effective_bandwidth(
+        self,
+        borrower: int,
+        grants: list[tuple[int, float]],
+        donor_weight: dict[int, float],
+    ) -> float:  # simlint: dim[return=bytes/second]
+        """Fair-share bandwidth ``borrower``'s remote-DRAM backend gets.
+
+        ``grants`` lists ``(donor, amount)`` leases backing the borrower;
+        ``donor_weight[d]`` is donor ``d``'s total flow weight (its own
+        traffic plus every lease it backs).  Each lease delivers its
+        weighted share of the donor's NIC, discounted by the spine factor
+        when the pair spans racks; shares over distinct donors add (the
+        borrower stripes its swap traffic across its leases).
+        """
+        total = 0.0
+        for donor, amount in grants:
+            weight = donor_weight[donor]
+            if weight <= 0.0:
+                continue
+            share = amount / weight
+            hop = 1.0 if self.same_rack(borrower, donor) else self.spine_factor
+            total += share * self.links[donor].bandwidth * hop
+        return total
+
+    def account_transfer(self, donor: int, nbytes: float) -> None:
+        """Credit ``nbytes`` of lease traffic onto ``donor``'s NIC link."""
+        link = self.links[donor]
+        link.account_external(nbytes, nbytes / link.bandwidth)
+
+    def port_utilizations(self, horizon: float) -> list[float]:
+        """Busy fraction of every node's NIC over ``horizon`` seconds."""
+        if horizon <= 0:
+            return [0.0] * self.n_nodes
+        return [link.utilization(horizon) for link in self.links]

@@ -115,5 +115,5 @@ def test_registry_ids_match_modules():
         "fig12", "table06", "fig14", "table07", "fig15", "fig16", "fig17",
         "fig18", "fig19", "ablation", "cxl_study", "des_validation",
         "replay_validation", "tenant_scaling", "online_study", "tier_study",
-        "failover_study", "phase_tuning",
+        "failover_study", "phase_tuning", "fleet_study",
     }

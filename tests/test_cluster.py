@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import (
     ClusterNode,
     ClusterScheduler,
+    RemoteMemoryPool,
     Task,
     UtilizationTrace,
     alibaba_like_trace,
@@ -14,6 +17,8 @@ from repro.cluster import (
 )
 from repro.cluster.mbe import best_thresholds
 from repro.errors import CapacityError, ConfigurationError
+from repro.rng import derive
+from repro.topology.server import ServerSpec
 from repro.units import gib
 
 
@@ -39,6 +44,30 @@ def test_node_release_validates():
     n = ClusterNode("n0")
     with pytest.raises(ValueError):
         n.release("ghost", gib(1))
+
+
+def test_node_zero_dram_reports_zero_utilization():
+    """An FM-only expander blade must not divide by zero."""
+    n = ClusterNode("exp0", spec=ServerSpec(name="exp0", dram_bytes=0),
+                    fm_bytes=gib(64))
+    assert n.memory_utilization == 0.0
+    assert n.free_local == 0
+    assert not n.fits(1)
+    n.admit("blade-job", 0, gib(8))
+    assert n.memory_utilization == 0.0
+    assert n.used_fm == gib(8)
+
+
+def test_node_resize_fm_below_usage_blocks_admission():
+    n = ClusterNode("n0", fm_bytes=gib(16))
+    n.admit("t", gib(1), gib(8))
+    n.resize_fm(gib(4))  # lease revoked under a running task
+    assert n.free_fm < 0
+    assert not n.fits(0, 1)
+    n.release("t", gib(1), gib(8))
+    assert n.free_fm == gib(4)
+    with pytest.raises(ValueError):
+        n.resize_fm(-1)
 
 
 # ----------------------------------------------------------------- task
@@ -94,6 +123,34 @@ def test_scheduler_rejects_impossible_task():
 def test_scheduler_needs_nodes():
     with pytest.raises(ConfigurationError):
         ClusterScheduler([])
+
+
+def test_scheduler_throughput_on_empty_results():
+    sched = ClusterScheduler([ClusterNode("n0")])
+    assert sched.makespan == 0.0
+    assert sched.throughput() == 0.0  # no tasks ran: 0/s, not a crash
+    sched.run([])
+    assert sched.throughput() == 0.0
+
+
+def test_scheduler_rejects_when_lease_shrinks_mid_run():
+    """Lease churn can strand an admitted-at-t0-feasible task: the
+    scheduler must re-validate and reject deterministically, naming it."""
+    node = ClusterNode("n0", fm_bytes=gib(32))
+    sched = ClusterScheduler([node])
+    tasks = [
+        Task("t0", working_set=gib(80), compute_time=10.0,
+             offload_ratio=0.4, runtime_factor=1.2),
+        Task("t1", working_set=gib(80), compute_time=10.0,
+             offload_ratio=0.4, runtime_factor=1.2),
+    ]
+
+    def churn(now):
+        node.resize_fm(0)  # the donor backing this node's FM went away
+
+    with pytest.raises(ConfigurationError, match="t1"):
+        sched.run(tasks, on_advance=churn)
+    assert [r.task.name for r in sched.results] == ["t0"]
 
 
 def test_scheduler_multi_node_spreads():
@@ -157,6 +214,23 @@ def test_mbe_validates():
         mbe(np.array([0.5]), 0.7, 0.3)
     with pytest.raises(ConfigurationError):
         mbe(np.array([]), 0.3, 0.7)
+    with pytest.raises(ConfigurationError):
+        mbe(np.array([0.5]), 0.3, 0.7, fabric_limit=0.0)
+
+
+def test_mbe_fabric_limit_caps_both_sides():
+    u = np.array([0.0, 1.0])
+    assert mbe(u, 0.5, 0.5) == pytest.approx(0.5)
+    assert mbe(u, 0.5, 0.5, fabric_limit=0.1) == pytest.approx(0.1)
+
+
+def test_mbe_nonbinding_fabric_limit_matches_uncapped():
+    """With L=1.0 no per-machine term can bind, so the capped branch must
+    agree with the paper's definition to float round-off."""
+    tr = alibaba_like_trace(2017, n_machines=400, n_snapshots=1)
+    snap = tr.snapshot(0)
+    assert mbe(snap, 0.4, 0.6, fabric_limit=1.0) == pytest.approx(
+        mbe(snap, 0.4, 0.6), abs=1e-12)
 
 
 def test_mbe_grid_masks_invalid_region():
@@ -200,18 +274,51 @@ def test_pool_fabric_limit_caps_transfers():
 
 
 def test_pool_realized_mbe_tracks_metric():
-    """The mechanism must deliver what the metric promises (when fabric
-    limits do not bind)."""
-    from repro.cluster import RemoteMemoryPool, alibaba_like_trace, mbe
-
+    """The mechanism must deliver exactly what the capped metric promises
+    (documented bound: 2*(n_donors+n_borrowers)*1e-12/M plus round-off,
+    asserted here as abs=1e-9)."""
     tr = alibaba_like_trace(2017, n_machines=600, n_snapshots=1)
     snap = tr.snapshot(0)
     alpha = beta = 0.5
     pool = RemoteMemoryPool(alpha, beta, fabric_limit=1.0)
     pool.match(snap)
-    metric = mbe(snap, alpha, beta)
+    metric = mbe(snap, alpha, beta, fabric_limit=1.0)
     realized = pool.realized_mbe(tr.n_machines)
-    assert realized == pytest.approx(metric, rel=0.05)
+    assert realized == pytest.approx(metric, abs=1e-9)
+    # with a non-binding limit the capped metric is the paper's uncapped one
+    assert metric == pytest.approx(mbe(snap, alpha, beta), abs=1e-12)
+
+
+def test_pool_realized_mbe_matches_capped_metric_when_limit_binds():
+    """Truncated donors mid-match must still land on the capped analytic
+    value — the regression this fixes let them drift apart."""
+    u = np.array([0.05, 0.1, 0.92, 0.97, 0.99])
+    alpha, beta = 0.4, 0.7
+    pool = RemoteMemoryPool(alpha, beta, fabric_limit=0.15)
+    pool.match(u)
+    capped = mbe(u, alpha, beta, fabric_limit=0.15)
+    assert pool.realized_mbe(u.size) == pytest.approx(capped, abs=1e-9)
+    assert capped < mbe(u, alpha, beta)  # the fabric cap binds here
+
+
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    spread=st.floats(min_value=0.0, max_value=1.0),
+    limit=st.floats(min_value=1e-3, max_value=1.0),
+)
+@settings(max_examples=120, deadline=None)
+def test_pool_realized_matches_capped_metric_property(
+    n, seed, alpha, spread, limit
+):
+    """Greedy match == capped analytic MBE over random snapshots."""
+    beta = min(1.0, alpha + spread * (1.0 - alpha))
+    u = derive(seed, "tests/cluster-pool-property").uniform(0.0, 1.0, size=n)
+    pool = RemoteMemoryPool(alpha, beta, fabric_limit=limit)
+    pool.match(u)
+    assert pool.realized_mbe(n) == pytest.approx(
+        mbe(u, alpha, beta, fabric_limit=limit), abs=1e-9)
 
 
 def test_pool_balanced_cluster_no_leases():

@@ -1,0 +1,170 @@
+"""Fleet-scale sweep: lease-driven replay, determinism, and the fabric.
+
+Locks in the fleet layer's contract:
+
+* ``fleet_study`` output is byte-identical across process-pool worker
+  counts and across cold/warm artifact caches (same seed);
+* per-node counters from the sweep are bit-identical to a standalone
+  :func:`~repro.cluster.fleet.simulate_node` call with the same lease
+  schedule;
+* realized MBE of every epoch's match stays within the documented bound
+  of the analytic metric;
+* donor failures cascade into actual failover switches on the borrowers
+  they backed;
+* the rack fabric's fair-share arithmetic (spine discount, weights).
+"""
+
+import os
+
+import pytest
+
+from repro import cache
+from repro.cluster.fleet import (
+    FleetConfig,
+    plan_fleet,
+    run_fleet,
+    simulate_node,
+)
+from repro.cluster.mbe import mbe
+from repro.errors import ConfigurationError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import run_experiment
+from repro.topology.rack import RackFabric
+
+__all__: list[str] = []
+
+
+def _render(scale, seed, jobs, monkeypatch, cache_dir=None):
+    if cache_dir is None:
+        monkeypatch.setenv("REPRO_CACHE", "0")
+    else:
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.setenv("REPRO_FLEET_JOBS", str(jobs))
+    return run_experiment("fleet_study", ExperimentContext(scale=scale, seed=seed)).render()
+
+
+def test_fleet_study_deterministic_across_jobs(monkeypatch):
+    serial = _render(0.02, 23, 1, monkeypatch)
+    fanned = _render(0.02, 23, 2, monkeypatch)
+    assert serial == fanned
+
+
+def test_fleet_study_deterministic_cold_vs_warm_cache(tmp_path, monkeypatch):
+    cold = _render(0.02, 23, 1, monkeypatch, cache_dir=tmp_path)
+    h0, m0 = cache.cache_stats()
+    warm = _render(0.02, 23, 1, monkeypatch, cache_dir=tmp_path)
+    h1, m1 = cache.cache_stats()
+    assert cold == warm
+    assert h1 - h0 > 0, "warm run never hit the fleet cache"
+    assert m1 - m0 == 0, "warm run missed despite a populated cache"
+    # and the cached output equals the uncached one bit for bit
+    assert cold == _render(0.02, 23, 1, monkeypatch)
+
+
+def test_sweep_counters_bit_identical_to_standalone(monkeypatch):
+    """The acceptance anchor: fleet-run counters == standalone replay."""
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    cfg = FleetConfig(n_nodes=40, n_snapshots=2, seed=5)
+    fleet = run_fleet(cfg, jobs=2)
+    assert len(fleet.jobs) == len(fleet.assignments) > 0
+    for a, j in zip(fleet.assignments[:12], fleet.jobs[:12]):
+        assert simulate_node(cfg, a) == j
+
+
+def test_realized_mbe_within_documented_bound():
+    cfg = FleetConfig(n_nodes=120, n_snapshots=3, seed=9)
+    _, epochs, _, _ = plan_fleet(cfg)
+    assert len(epochs) == 3
+    for e in epochs:
+        assert e.realized_mbe == pytest.approx(e.analytic_mbe, abs=1e-9)
+        assert e.analytic_mbe == pytest.approx(
+            e.realized_mbe, abs=1e-9
+        )  # symmetric, vs mbe(..., fabric_limit) by construction
+        assert 0.0 <= e.stranding_pct <= 100.0
+
+
+def test_donor_failure_cascades_to_failover(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    cfg = FleetConfig(n_nodes=60, n_snapshots=2, seed=7, failure_rate=0.05)
+    _, _, assignments, _ = plan_fleet(cfg)
+    down = [a for a in assignments if a.donor_down]
+    assert down, "seeded failure rate produced no cascades; bump the rate"
+    result = simulate_node(cfg, down[0])
+    assert result.failovers >= 1
+    # a healthy borrower never switches
+    healthy = next(a for a in assignments if not a.donor_down)
+    assert simulate_node(cfg, healthy).failovers == 0
+
+
+def test_fleet_cache_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cfg = FleetConfig(n_nodes=40, n_snapshots=1, seed=5)
+    _, _, assignments, _ = plan_fleet(cfg)
+    a = assignments[0]
+    first = simulate_node(cfg, a)
+    h0, _ = cache.cache_stats()
+    again = simulate_node(cfg, a)
+    h1, _ = cache.cache_stats()
+    assert again == first
+    assert h1 == h0 + 1
+
+
+def test_fleet_key_versioned():
+    key = cache.fleet_key({"node": 1, "epoch": 0})
+    assert "fleet_version" in key and key["node"] == 1
+
+
+def test_rack_fabric_fair_share_and_spine():
+    fabric = RackFabric(n_nodes=64, rack_size=32, spine_factor=0.5)
+    assert fabric.n_racks == 2
+    assert fabric.same_rack(0, 31) and not fabric.same_rack(0, 32)
+    bw = fabric.links[0].bandwidth
+    # donor 1 (same rack) carries own weight 0.3 + lease 0.1; donor 40
+    # (cross-rack) is dedicated to the lease -> full share, spine-halved
+    grants = [(1, 0.1), (40, 0.2)]
+    weights = {1: 0.4, 40: 0.2}
+    eff = fabric.effective_bandwidth(0, grants, weights)
+    assert eff == pytest.approx((0.1 / 0.4) * bw + 1.0 * bw * 0.5)
+    # accounting: credited bytes show up as port utilization
+    fabric.account_transfer(1, bw * 0.25)
+    utils = fabric.port_utilizations(1.0)
+    assert utils[1] == pytest.approx(0.25)
+    assert utils[0] == 0.0
+
+
+def test_rack_fabric_validation():
+    with pytest.raises(ConfigurationError):
+        RackFabric(n_nodes=0)
+    with pytest.raises(ConfigurationError):
+        RackFabric(n_nodes=4, spine_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        RackFabric(n_nodes=4).rack_of(4)
+
+
+def test_fleet_config_validation():
+    with pytest.raises(ConfigurationError):
+        FleetConfig(n_nodes=1)
+    with pytest.raises(ConfigurationError):
+        FleetConfig(store_ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        FleetConfig(failure_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        FleetConfig(pages_per_job=1)
+
+
+def test_plan_matches_pool_metric_directly():
+    """Epoch summaries agree with an independent mbe() evaluation."""
+    from repro.cluster.trace_gen import alibaba_like_trace
+
+    cfg = FleetConfig(n_nodes=80, n_snapshots=2, seed=13)
+    _, epochs, _, _ = plan_fleet(cfg)
+    trace = alibaba_like_trace(
+        cfg.year, n_machines=cfg.n_nodes, n_snapshots=cfg.n_snapshots, seed=cfg.seed
+    )
+    for e in epochs:
+        expected = mbe(
+            trace.snapshot(e.epoch), cfg.alpha, cfg.beta, fabric_limit=cfg.fabric_limit
+        )
+        assert e.analytic_mbe == expected

@@ -233,7 +233,8 @@ def test_hybrid_matches_event_clean_managed():
 def test_hybrid_matches_event_mid_run_switch():
     """Never-closing degradation fires a mid-run failover: the hybrid
     engine must reproduce the switch instant, event log, and post-switch
-    lazy-migration behaviour exactly (post-switch runs event-only)."""
+    lazy-migration behaviour exactly — and, owner-aware, resume batch
+    admission on the tail instead of limping on the event engine."""
     trace = _build_trace(6, 12000, 200)
     t0, T = _clock_span(trace)
     windows = [
@@ -243,7 +244,12 @@ def test_hybrid_matches_event_mid_run_switch():
     hyb, ev, hex_, _ = _assert_equivalent(windows, trace, failover=True)
     assert ev.failovers == 1
     assert hex_.frontend.active_backend == "rdma"
-    assert hex_.execution_plan.segments[-1].engine == "event"
+    switched = hex_.failover.switched_at
+    assert switched is not None
+    post = [s for s in hex_.execution_plan.segments if s.t_start >= switched]
+    assert any(s.engine == "batch" for s in post), (
+        "post-switch tail never resumed batch admission"
+    )
 
 
 def test_hybrid_matches_event_offline_store_escalation():
